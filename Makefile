@@ -1,0 +1,31 @@
+# Convenience targets for the Lynx reproduction.
+
+GO ?= go
+
+.PHONY: all test bench eval examples vet clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+eval:
+	$(GO) run ./cmd/lynxbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/lenet
+	$(GO) run ./examples/faceverify
+	$(GO) run ./examples/scaleout
+	$(GO) run ./examples/securevca
+	$(GO) run ./examples/pipeline
+
+clean:
+	$(GO) clean ./...

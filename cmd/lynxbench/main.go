@@ -1,0 +1,81 @@
+// Command lynxbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	lynxbench -list                 # list experiments
+//	lynxbench -exp fig8a            # run one experiment
+//	lynxbench -exp all              # run everything
+//	lynxbench -exp fig6 -scale 0.5  # shorter measurement windows
+//	lynxbench -seed 7               # different deterministic seed
+//
+// Output is a text table per experiment, with the paper's numbers alongside
+// the measured ones. Runs are bit-reproducible for a given seed and scale.
+package main
+
+import (
+	csvpkg "encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lynx/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		scale = flag.Float64("scale", 1.0, "measurement window scale factor")
+		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.List() {
+			fmt.Printf("  %-18s %s\n", id, experiments.Describe(id))
+		}
+		if *exp == "" {
+			fmt.Println("\nrun one with: lynxbench -exp <id>   (or -exp all)")
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.List()
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	for _, id := range ids {
+		start := time.Now()
+		report, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lynxbench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			writeCSV(report)
+			continue
+		}
+		fmt.Println(report)
+		fmt.Printf("  (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeCSV emits one experiment as CSV rows (experiment, row, column, value)
+// for plotting pipelines.
+func writeCSV(r *experiments.Report) {
+	w := csvpkg.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, row := range r.Rows {
+		for i, cell := range row.Cells {
+			col := ""
+			if i < len(r.Columns) {
+				col = r.Columns[i]
+			}
+			w.Write([]string{r.ID, row.Name, col, cell})
+		}
+	}
+}

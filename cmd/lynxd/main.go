@@ -1,0 +1,144 @@
+// Command lynxd boots a simulated Lynx deployment and serves a workload,
+// printing periodic live statistics — the closest thing to "running the
+// server" this reproduction offers.
+//
+// Usage:
+//
+//	lynxd                          # GPU echo service on BlueField, default load
+//	lynxd -app lenet               # LeNet digit-recognition service
+//	lynxd -platform xeon -cores 6  # run Lynx on host cores instead
+//	lynxd -rate 50000 -secs 2      # open-loop load, simulated seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lynx"
+	"lynx/internal/apps/lenet"
+	"lynx/internal/trace"
+	"lynx/internal/workload"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "echo", "service to run: echo | lenet")
+		platform = flag.String("platform", "bluefield", "lynx platform: bluefield | xeon")
+		cores    = flag.Int("cores", 7, "worker cores for the Lynx runtime")
+		queues   = flag.Int("queues", 8, "server mqueues / GPU threadblocks (echo app)")
+		rate     = flag.Float64("rate", 0, "open-loop request rate (0 = closed loop)")
+		clients  = flag.Int("clients", 16, "closed-loop client count")
+		secs     = flag.Float64("secs", 1.0, "simulated seconds to run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceN   = flag.Int("trace", 0, "dump the last N runtime trace events")
+	)
+	flag.Parse()
+
+	cluster := lynx.NewCluster(*seed, nil)
+	server := cluster.NewMachine("server1", 6)
+	bf := server.AttachBlueField("bf1")
+	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
+	client := cluster.AddClient("client1")
+
+	var plat = bf.Platform(*cores)
+	if *platform == "xeon" {
+		plat = server.HostPlatform(*cores, true)
+	}
+	var tracer *trace.Tracer
+	if *traceN > 0 {
+		tracer = trace.New(4 * *traceN)
+		plat.Tracer = tracer
+	}
+	srv := lynx.NewServer(plat)
+
+	var payload int
+	var body func(seq uint64, buf []byte)
+	switch *app {
+	case "echo":
+		payload = 64
+		h, err := srv.Register(gpu, lynx.QueueConfig{Kind: lynx.ServerQueue, Slots: 16, SlotSize: 128}, *queues)
+		check(err)
+		_, err = srv.AddService(lynx.UDP, 7000, nil, *queues, h)
+		check(err)
+		qs := h.AccelQueues()
+		check(gpu.LaunchPersistent(cluster.Testbed().Sim, *queues, func(tb *lynx.TB) {
+			aq := qs[tb.Index()]
+			for {
+				m := aq.Recv(tb.Proc())
+				tb.Compute(20 * time.Microsecond)
+				if aq.Send(tb.Proc(), uint16(m.Slot), m.Payload) != nil {
+					return
+				}
+			}
+		}))
+	case "lenet":
+		payload = workload.SeqBytes + lenet.InputBytes
+		net := lenet.New(42)
+		h, err := srv.Register(gpu, lynx.QueueConfig{Kind: lynx.ServerQueue, Slots: 16, SlotSize: payload + 16}, 1)
+		check(err)
+		_, err = srv.AddService(lynx.UDP, 7000, nil, 1, h)
+		check(err)
+		aq := h.AccelQueues()[0]
+		svcTime := cluster.Params().LeNetServiceK40
+		body = func(seq uint64, buf []byte) {
+			copy(buf[workload.SeqBytes:], lenet.RenderDigit(int(seq%10), 0, 0))
+		}
+		check(gpu.LaunchPersistent(cluster.Testbed().Sim, 1, func(tb *lynx.TB) {
+			for {
+				m := aq.Recv(tb.Proc())
+				resp := make([]byte, workload.SeqBytes+1)
+				copy(resp, m.Payload[:workload.SeqBytes])
+				if cls, err := net.Classify(m.Payload[workload.SeqBytes:]); err == nil {
+					resp[workload.SeqBytes] = byte(cls)
+				}
+				tb.SpawnChild(svcTime)
+				if aq.Send(tb.Proc(), uint16(m.Slot), resp) != nil {
+					return
+				}
+			}
+		}))
+	default:
+		fmt.Fprintln(os.Stderr, "lynxd: unknown app", *app)
+		os.Exit(2)
+	}
+	check(srv.Start())
+
+	target := plat.NetHost.Addr(7000)
+	fmt.Printf("lynxd: %s service on %s (%s, %d cores), %d mqueues\n",
+		*app, target, *platform, *cores, *queues)
+
+	window := time.Duration(*secs * float64(time.Second))
+	gen := cluster.NewLoad(lynx.LoadConfig{
+		Proto: workload.UDP, Target: target, Payload: payload, Body: body,
+		Clients: *clients, RatePerSec: *rate,
+		Duration: window, Warmup: window / 10,
+	}, client)
+	res := gen.Run()
+
+	// Live stats every simulated 100 ms.
+	step := 100 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < window+window/10; elapsed += step {
+		cluster.Run(step)
+		rcv, resp, drop := srv.Stats()
+		fmt.Printf("  t=%-8v received=%-8d responded=%-8d dropped=%-4d inflight~%d\n",
+			cluster.Now().Round(time.Millisecond), rcv, resp, drop, rcv-resp)
+	}
+	cluster.Run(50 * time.Millisecond)
+	fmt.Printf("\nresult: %v\n", *res)
+	if tracer != nil {
+		fmt.Printf("\ntrace summary: %s\nlast %d events:\n", tracer.Summary(), *traceN)
+		for _, ev := range tracer.Tail(*traceN) {
+			fmt.Println(" ", ev)
+		}
+	}
+	cluster.Close()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lynxd:", err)
+		os.Exit(1)
+	}
+}

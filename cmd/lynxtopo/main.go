@@ -1,0 +1,69 @@
+// Command lynxtopo describes the simulated testbed and dumps the calibrated
+// hardware model constants, so a reader can inspect exactly what the
+// reproduction assumes about the paper's hardware.
+//
+// Usage:
+//
+//	lynxtopo            # topology summary + calibrated constants
+package main
+
+import (
+	"fmt"
+
+	"lynx/internal/accel"
+	"lynx/internal/model"
+	"lynx/internal/snic"
+)
+
+func main() {
+	p := model.Default()
+	tb := snic.NewTestbed(1, &p)
+	server := tb.NewMachine("server1", 6)
+	bf := server.AttachBlueField("bf1")
+	gpu := server.AddGPU("gpu0", accel.K40m, false, "server1")
+	remote := tb.NewMachine("server2", 6)
+	rgpu := remote.AddGPU("gpu1", accel.K80Half, false, "server1")
+	vca := server.AddVCA("vca0")
+	tb.AddClient("client1")
+	tb.AddClient("client2")
+	if err := tb.Validate(server, remote); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Reference topology (the paper's testbed, §6):")
+	fmt.Printf("  server1: 6 Xeon cores, BlueField SNIC (8x ARM A72), %s (%d TBs), %s (3x E3/SGX)\n",
+		gpu.Name(), gpu.MaxThreadblocks(), vca.Name())
+	fmt.Printf("  server2: 6 Xeon cores, ConnectX NIC, remote %s (%s)\n", rgpu.Name(), rgpu.Model())
+	fmt.Println("  clients: client1, client2 (sockperf-style load generators)")
+	fmt.Printf("  fabric : NIC->GPU hops = %d (PCIe), remote GPU via wire backbone\n",
+		tb.Fab.Distance(bf.NIC, gpu.Device()))
+
+	fmt.Println("\nCalibrated model constants (see internal/model for provenance):")
+	rows := []struct {
+		name  string
+		value any
+	}{
+		{"wire bandwidth", fmt.Sprintf("%.0f Gb/s", p.WireBandwidth/1e9)},
+		{"UDP per-packet CPU (VMA, Xeon)", p.UDPProcessVMA},
+		{"UDP per-packet CPU (kernel, Xeon)", p.UDPProcessKernel},
+		{"TCP multiplier (VMA/kernel)", fmt.Sprintf("%.0fx / %.0fx", p.TCPMultVMA, p.TCPMultKernel)},
+		{"ARM syscall penalty", fmt.Sprintf("%.1fx", p.ARMSyscallPenalty)},
+		{"stack serial fraction", fmt.Sprintf("%.0f%%", p.StackSerialFraction*100)},
+		{"PCIe latency / bandwidth", fmt.Sprintf("%v / %.0f Gb/s", p.PCIeLatency, p.PCIeBandwidth/1e9)},
+		{"RDMA issue / engine", fmt.Sprintf("%v / %v", p.RDMAIssue, p.RDMAEngine)},
+		{"RDMA remote penalty (per hop)", p.RDMARemotePenalty},
+		{"RDMA read barrier (§5.1)", p.RDMAReadBarrier},
+		{"cudaMemcpyAsync setup", p.CudaMemcpyAsyncSetup},
+		{"kernel launch / stream sync", fmt.Sprintf("%v / %v", p.KernelLaunch, p.StreamSync)},
+		{"GPU max threadblocks (K40m)", p.GPUMaxThreadblocks},
+		{"GPU poll interval / local access", fmt.Sprintf("%v / %v", p.GPUPollInterval, p.GPULocalAccess)},
+		{"LeNet service (K40m / K80)", fmt.Sprintf("%v / %v", p.LeNetServiceK40, p.LeNetServiceK80)},
+		{"face-verify kernel", p.FaceVerifyService},
+		{"Innova AFU pipeline", p.InnovaPipeline},
+		{"SGX transition", p.SGXTransition},
+		{"memcached op (Xeon)", p.MemcachedOpXeon},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-36s %v\n", r.name, r.value)
+	}
+}

@@ -1,0 +1,3 @@
+module lynx
+
+go 1.22

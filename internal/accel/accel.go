@@ -1,0 +1,356 @@
+// Package accel models the compute accelerators Lynx drives: NVIDIA GPUs
+// (K40m/K80) running persistent kernels or host-launched CUDA streams, and
+// the Intel Visual Compute Accelerator with its three E3/SGX nodes.
+//
+// Accelerators expose two things to the rest of the system:
+//
+//   - a fabric.Device with BAR-mapped memory, which is all the Remote MQ
+//     Manager needs (the SNIC runs no accelerator driver, §4.5), and
+//   - an mqueue.AccessProfile describing the cost of the accelerator's own
+//     accesses to mqueue memory.
+package accel
+
+import (
+	"fmt"
+	"time"
+
+	"lynx/internal/fabric"
+	"lynx/internal/memdev"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/sim"
+)
+
+// Accelerator is the device-agnostic view Lynx manages (§4.5: portability).
+type Accelerator interface {
+	// Name identifies the accelerator.
+	Name() string
+	// Device returns the PCIe endpoint with the accelerator's BAR-mapped
+	// memory in which mqueues are allocated.
+	Device() *fabric.Device
+	// Profile describes accelerator-side mqueue access costs.
+	Profile() mqueue.AccessProfile
+	// RemoteHost names the machine the accelerator lives in; empty when it
+	// shares the SNIC's PCIe fabric (local).
+	RemoteHost() string
+}
+
+// ---------------------------------------------------------------------------
+// GPU
+
+// GPUModel selects calibrated per-model characteristics.
+type GPUModel int
+
+const (
+	// K40m is the NVIDIA Tesla K40m (240 resident threadblocks, §6.2).
+	K40m GPUModel = iota
+	// K80Half is one GK210 half of a Tesla K80 (slower; 3.3 K LeNet req/s
+	// at most, §6.3).
+	K80Half
+)
+
+// String names the model.
+func (m GPUModel) String() string {
+	if m == K80Half {
+		return "K80"
+	}
+	return "K40m"
+}
+
+// GPU models one CUDA device.
+type GPU struct {
+	name   string
+	modelK GPUModel
+	dev    *fabric.Device
+	params *model.Params
+	driver *Driver
+	remote string
+
+	maxTB    int
+	resident int
+	// exclusive serializes whole-GPU kernels (a LeNet inference saturates
+	// the device, so concurrent inferences serialize, §6.3).
+	exclusive *sim.Resource
+
+	launches uint64
+}
+
+// GPUConfig parameterizes NewGPU.
+type GPUConfig struct {
+	Model GPUModel
+	// MemBytes is the device memory capacity (only mqueue footprints are
+	// allocated from it in this simulation).
+	MemBytes int
+	// Relaxed marks the device memory as weakly ordered for incoming DMA
+	// (the real K40m behaviour that motivates §5.1's barrier).
+	Relaxed bool
+	// MaxSkew bounds DMA visibility skew when Relaxed.
+	MaxSkew time.Duration
+	// RemoteHost marks the GPU as living in another machine, reached via
+	// that machine's RDMA NIC (§5.5).
+	RemoteHost string
+}
+
+// NewGPU creates a GPU, attaches it to the fabric, and returns it. driver is
+// the host driver instance used for host-centric stream operations (may be
+// shared by several GPUs in one host, which is exactly the §6.2 bottleneck).
+func NewGPU(s *sim.Sim, p *model.Params, fab *fabric.Fabric, driver *Driver, name string, cfg GPUConfig) *GPU {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 1 << 26
+	}
+	mem := memdev.NewMemory(s, name, cfg.MemBytes, true, memdev.Config{
+		Relaxed: cfg.Relaxed, MaxSkew: cfg.MaxSkew,
+	})
+	dev := fab.AddDevice(name, mem)
+	maxTB := p.GPUMaxThreadblocks
+	if cfg.Model == K80Half {
+		maxTB = 208
+	}
+	return &GPU{
+		name:      name,
+		modelK:    cfg.Model,
+		dev:       dev,
+		params:    p,
+		driver:    driver,
+		remote:    cfg.RemoteHost,
+		maxTB:     maxTB,
+		exclusive: sim.NewResource(s, 1),
+	}
+}
+
+// Name implements Accelerator.
+func (g *GPU) Name() string { return g.name }
+
+// Device implements Accelerator.
+func (g *GPU) Device() *fabric.Device { return g.dev }
+
+// RemoteHost implements Accelerator.
+func (g *GPU) RemoteHost() string { return g.remote }
+
+// Model returns the GPU model.
+func (g *GPU) Model() GPUModel { return g.modelK }
+
+// Profile implements Accelerator: GPU-side mqueue accesses are device-local
+// loads/stores from the persistent kernel (§4.2).
+func (g *GPU) Profile() mqueue.AccessProfile {
+	return mqueue.AccessProfile{
+		LocalAccess:  g.params.GPULocalAccess,
+		PollInterval: g.params.GPUPollInterval,
+	}
+}
+
+// MaxThreadblocks reports the persistent-kernel residency limit.
+func (g *GPU) MaxThreadblocks() int { return g.maxTB }
+
+// TB is the context of one persistent-kernel threadblock.
+type TB struct {
+	gpu   *GPU
+	index int
+	proc  *sim.Proc
+}
+
+// Index returns the threadblock index.
+func (tb *TB) Index() int { return tb.index }
+
+// Proc returns the simulation process the threadblock runs on.
+func (tb *TB) Proc() *sim.Proc { return tb.proc }
+
+// GPU returns the owning device.
+func (tb *TB) GPU() *GPU { return tb.gpu }
+
+// Compute charges d of threadblock-local execution (a kernel body that
+// occupies only this TB, like the paper's microbenchmark delay kernels).
+func (tb *TB) Compute(d time.Duration) { tb.proc.Sleep(d) }
+
+// RunExclusive charges d of whole-GPU execution: concurrent exclusive
+// kernels serialize on the device. Used for LeNet-class kernels.
+func (tb *TB) RunExclusive(d time.Duration) {
+	tb.gpu.exclusive.Acquire(tb.proc)
+	tb.proc.Sleep(d)
+	tb.gpu.exclusive.Release()
+}
+
+// SpawnChild launches a child kernel via dynamic parallelism (§6.3) that
+// occupies the whole GPU for d: device-side launch overhead plus exclusive
+// execution.
+func (tb *TB) SpawnChild(d time.Duration) {
+	tb.proc.Sleep(tb.gpu.params.DynamicParallelismLaunch)
+	tb.RunExclusive(d)
+}
+
+// LaunchPersistent starts a persistent kernel of n threadblocks, each
+// running body forever (or until the simulation shuts down). It fails if
+// residency would exceed the device limit.
+func (g *GPU) LaunchPersistent(s *sim.Sim, n int, body func(tb *TB)) error {
+	if g.resident+n > g.maxTB {
+		return fmt.Errorf("accel: %s cannot host %d more TBs (%d/%d resident)",
+			g.name, n, g.resident, g.maxTB)
+	}
+	g.resident += n
+	g.launches++
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(fmt.Sprintf("%s/tb%d", g.name, i), func(p *sim.Proc) {
+			body(&TB{gpu: g, index: i, proc: p})
+		})
+	}
+	return nil
+}
+
+// Resident reports currently resident persistent threadblocks.
+func (g *GPU) Resident() int { return g.resident }
+
+// ---------------------------------------------------------------------------
+// Host-centric driver machinery
+
+// Driver models the host-side CUDA driver shared by all streams (and all
+// GPUs) in one machine. Its lock is the serialization point that makes
+// "more threads result in a slowdown" (§6.2) and caps host-centric
+// throughput at roughly 1/DriverSerialization.
+type Driver struct {
+	sim    *sim.Sim
+	params *model.Params
+	lock   *sim.Resource
+	ops    uint64
+}
+
+// NewDriver creates a driver instance for one host.
+func NewDriver(s *sim.Sim, p *model.Params) *Driver {
+	return &Driver{sim: s, params: p, lock: sim.NewResource(s, 1)}
+}
+
+// Ops reports driver-lock acquisitions (API call count).
+func (d *Driver) Ops() uint64 { return d.ops }
+
+// call runs one driver API call of the given CPU cost under the global lock.
+func (d *Driver) call(p *sim.Proc, cost time.Duration) {
+	d.lock.Acquire(p)
+	d.ops++
+	p.Sleep(cost)
+	d.lock.Release()
+}
+
+// Stream is a CUDA stream: the host-centric server's unit of pipelining.
+type Stream struct {
+	gpu *GPU
+}
+
+// NewStream creates a stream on the GPU.
+func (g *GPU) NewStream() *Stream { return &Stream{gpu: g} }
+
+// MemcpyH2D issues an async host-to-device copy: constant driver setup under
+// the lock (§5.1: 7-8 µs), then DMA at PCIe bandwidth outside it.
+func (st *Stream) MemcpyH2D(p *sim.Proc, bytes int) {
+	d := st.gpu.driver
+	d.call(p, d.params.CudaMemcpyAsyncSetup)
+	p.Sleep(model.TransferTime(bytes, d.params.PCIeBandwidth) + d.params.PCIeLatency)
+}
+
+// MemcpyD2H issues the device-to-host copy.
+func (st *Stream) MemcpyD2H(p *sim.Proc, bytes int) { st.MemcpyH2D(p, bytes) }
+
+// Launch starts a kernel of the given duration and blocks until it has
+// executed (launch overhead under the driver lock; execution on the GPU).
+// exclusive selects whole-GPU kernels (LeNet) vs single-TB ones (echo).
+func (st *Stream) Launch(p *sim.Proc, exec time.Duration, exclusive bool) {
+	st.LaunchN(p, 1, exec, exclusive)
+}
+
+// LaunchN launches a dependent sequence of n kernels totalling exec GPU time
+// (a TVM-compiled network is a chain of per-layer kernels; each launch pays
+// the driver overhead, and the GPU sits idle between layers — the §3.1/§6.3
+// inefficiency that dynamic parallelism avoids). For exclusive sequences the
+// GPU is held across the whole chain, since every layer depends on the
+// previous one.
+func (st *Stream) LaunchN(p *sim.Proc, n int, exec time.Duration, exclusive bool) {
+	if n <= 0 {
+		n = 1
+	}
+	d := st.gpu.driver
+	if exclusive {
+		st.gpu.exclusive.Acquire(p)
+	}
+	for i := 0; i < n; i++ {
+		d.call(p, d.params.KernelLaunch)
+		p.Sleep(exec / time.Duration(n))
+		st.gpu.launches++
+	}
+	if exclusive {
+		st.gpu.exclusive.Release()
+	}
+}
+
+// Sync waits for stream completion: a driver round under the lock.
+func (st *Stream) Sync(p *sim.Proc) {
+	d := st.gpu.driver
+	d.call(p, d.params.StreamSync)
+}
+
+// Launches reports kernels launched on the GPU (persistent + streams).
+func (g *GPU) Launches() uint64 { return g.launches }
+
+// ---------------------------------------------------------------------------
+// Intel Visual Compute Accelerator
+
+// VCA models the Intel VCA: three independent E3 processors behind a PCIe
+// switch (§5.4). RDMA into VCA memory did not work in the paper's testbed,
+// so mqueues live in *host* memory mapped into the VCA — which is why the
+// access profile carries a PCIe-mapped penalty instead of a local-load cost.
+type VCA struct {
+	name   string
+	dev    *fabric.Device
+	params *model.Params
+	nodes  int
+}
+
+// NewVCA creates the VCA and its host-memory staging device on the fabric.
+func NewVCA(s *sim.Sim, p *model.Params, fab *fabric.Fabric, name string) *VCA {
+	// The mqueue region is allocated in host memory (BAR-capable from the
+	// NIC's perspective) and mapped into the VCA nodes.
+	mem := memdev.NewMemory(s, name+"-hostbuf", 1<<24, true, memdev.Config{})
+	dev := fab.AddDevice(name, mem)
+	return &VCA{name: name, dev: dev, params: p, nodes: 3}
+}
+
+// Name implements Accelerator.
+func (v *VCA) Name() string { return v.name }
+
+// Device implements Accelerator.
+func (v *VCA) Device() *fabric.Device { return v.dev }
+
+// RemoteHost implements Accelerator (the VCA of the paper is local).
+func (v *VCA) RemoteHost() string { return "" }
+
+// Nodes reports the number of E3 processors (3).
+func (v *VCA) Nodes() int { return v.nodes }
+
+// Profile implements Accelerator: every mqueue access from a VCA node
+// crosses the PCIe switch into mapped host memory (the §5.4 workaround),
+// so it costs PCIe latency rather than a local load.
+func (v *VCA) Profile() mqueue.AccessProfile {
+	return mqueue.AccessProfile{
+		LocalAccess:  v.params.PCIeLatency + v.params.PCIeSwitchLatency,
+		PollInterval: 2 * time.Microsecond,
+	}
+}
+
+// Enclave models an SGX enclave on one VCA node: entering and leaving costs
+// SGX transitions; the body runs at E3 speed.
+type Enclave struct {
+	vca *VCA
+}
+
+// NewEnclave creates an enclave on the VCA.
+func (v *VCA) NewEnclave() *Enclave { return &Enclave{vca: v} }
+
+// ECall runs body inside the enclave: entry transition, scaled body cost,
+// exit transition.
+func (e *Enclave) ECall(p *sim.Proc, body time.Duration, fn func()) {
+	prm := e.vca.params
+	p.Sleep(prm.SGXTransition)
+	p.Sleep(model.ScaleCPU(body, model.E3Core))
+	if fn != nil {
+		fn()
+	}
+	p.Sleep(prm.SGXTransition)
+}

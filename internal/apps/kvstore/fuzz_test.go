@@ -1,0 +1,49 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse hardens the wire-facing protocol parser: arbitrary bytes must
+// never panic, and anything Parse accepts must serve without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("get key\r\n"))
+	f.Add([]byte("set k 1 0 3\r\nabc\r\n"))
+	f.Add([]byte("delete k\r\n"))
+	f.Add([]byte("set k 4294967295 0 0\r\n\r\n"))
+	f.Add([]byte("get \r\n"))
+	f.Add([]byte{0, 1, 2, 0xFF, '\r', '\n'})
+	store := NewStore(4, 16)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := Parse(data)
+		if err != nil {
+			return
+		}
+		reply := store.Serve(req)
+		if len(reply) == 0 {
+			t.Fatal("accepted request produced empty reply")
+		}
+		if req.Op == "set" {
+			got, _, ok := store.Get(req.Key)
+			if !ok || !bytes.Equal(got, req.Value) {
+				t.Fatalf("set %q not readable back", req.Key)
+			}
+		}
+	})
+}
+
+// FuzzDecodeValue hardens the client-side reply decoder the accelerator code
+// runs on bytes received from the network.
+func FuzzDecodeValue(f *testing.F) {
+	f.Add([]byte("VALUE k 0 3\r\nabc\r\nEND\r\n"))
+	f.Add([]byte("END\r\n"))
+	f.Add([]byte("VALUE k 0 99999\r\nshort"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, ok, err := DecodeValue(data)
+		if err == nil && ok && v == nil {
+			t.Fatal("ok decode returned nil value")
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// Package micro holds the microbenchmark request-processing bodies used
+// throughout the evaluation: echo, the §3.2 vector-multiply server, the
+// 1140x1140 matrix-product noisy neighbor, and delay "kernels" that emulate
+// request processing of a configurable duration (the methodology the paper
+// itself uses for the multi-GPU projection, §6.3).
+package micro
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Echo returns the payload unchanged (the paper's 4-byte echo kernel).
+func Echo(payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out
+}
+
+// VecMulLen is the §3.2 request size: 256 int32s.
+const VecMulLen = 256
+
+// VecMulConstant is the multiplier applied by the vector-multiply server.
+const VecMulConstant = 3
+
+// VecMul multiplies a vector of little-endian int32s by VecMulConstant.
+func VecMul(payload []byte) ([]byte, error) {
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("micro: vecmul payload %d not a multiple of 4", len(payload))
+	}
+	out := make([]byte, len(payload))
+	for i := 0; i+4 <= len(payload); i += 4 {
+		v := int32(binary.LittleEndian.Uint32(payload[i:]))
+		binary.LittleEndian.PutUint32(out[i:], uint32(v*VecMulConstant))
+	}
+	return out, nil
+}
+
+// EncodeVec renders int32s for a VecMul request.
+func EncodeVec(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// DecodeVec parses a VecMul payload back to int32s.
+func DecodeVec(payload []byte) []int32 {
+	out := make([]int32, len(payload)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return out
+}
+
+// MatMulDim is the §3.2 noisy neighbor matrix dimension (fully occupies the
+// Xeon E5-2620's LLC).
+const MatMulDim = 1140
+
+// MatMul multiplies two n x n int32 matrices (row-major). It exists so the
+// noisy neighbor performs genuine cache-hostile work in functional tests;
+// the simulation charges its calibrated duration instead of wall time.
+func MatMul(a, b []int32, n int) ([]int32, error) {
+	if len(a) != n*n || len(b) != n*n {
+		return nil, fmt.Errorf("micro: matmul wants %d elements, got %d/%d", n*n, len(a), len(b))
+	}
+	c := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*n:]
+			out := c[i*n:]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	return c, nil
+}

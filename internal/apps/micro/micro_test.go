@@ -1,0 +1,104 @@
+package micro
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEchoCopies(t *testing.T) {
+	in := []byte("ping")
+	out := Echo(in)
+	if !bytes.Equal(in, out) {
+		t.Fatal("echo must preserve payload")
+	}
+	out[0] = 'X'
+	if in[0] != 'p' {
+		t.Fatal("echo must not alias its input")
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	in := EncodeVec([]int32{1, -2, 100})
+	out, err := VecMul(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeVec(out)
+	want := []int32{3, -6, 300}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if _, err := VecMul([]byte{1, 2, 3}); err == nil {
+		t.Fatal("misaligned payload must fail")
+	}
+}
+
+// Property: VecMul triples every element for arbitrary vectors.
+func TestVecMulProperty(t *testing.T) {
+	prop := func(vals []int32) bool {
+		out, err := VecMul(EncodeVec(vals))
+		if err != nil {
+			return false
+		}
+		got := DecodeVec(out)
+		for i, v := range vals {
+			if got[i] != v*VecMulConstant {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	const n = 8
+	id := make([]int32, n*n)
+	a := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+		for j := 0; j < n; j++ {
+			a[i*n+j] = int32(i*n + j)
+		}
+	}
+	c, err := MatMul(a, id, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if c[i] != a[i] {
+			t.Fatal("A x I != A")
+		}
+	}
+	c2, _ := MatMul(id, a, n)
+	for i := range a {
+		if c2[i] != a[i] {
+			t.Fatal("I x A != A")
+		}
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	// [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+	c, err := MatMul([]int32{1, 2, 3, 4}, []int32{5, 6, 7, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("got %v want %v", c, want)
+		}
+	}
+}
+
+func TestMatMulBadDims(t *testing.T) {
+	if _, err := MatMul(make([]int32, 3), make([]int32, 4), 2); err == nil {
+		t.Fatal("bad dims must fail")
+	}
+}

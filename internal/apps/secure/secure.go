@@ -1,0 +1,76 @@
+// Package secure implements the SGX secure-computing workload of the VCA
+// experiment (§6.2): the client sends an AES-encrypted 4-byte integer; the
+// enclave decrypts it, multiplies by a constant, re-encrypts and replies.
+// SGX guarantees the key never leaves the enclave; here the Cipher value
+// plays the enclave-held key. AES-GCM comes from the Go standard library.
+package secure
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// PlainSize is the plaintext payload: one little-endian uint32.
+const PlainSize = 4
+
+// NonceSize is the AES-GCM nonce length.
+const NonceSize = 12
+
+// CipherSize is the wire size of an encrypted integer.
+const CipherSize = NonceSize + PlainSize + 16 // nonce + plaintext + GCM tag
+
+// Cipher seals and opens the 4-byte messages.
+type Cipher struct {
+	gcm   cipher.AEAD
+	nonce uint64 // deterministic nonce counter (simulation reproducibility)
+}
+
+// NewCipher derives a cipher from a 16/24/32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	return &Cipher{gcm: gcm}, nil
+}
+
+// Seal encrypts v.
+func (c *Cipher) Seal(v uint32) []byte {
+	c.nonce++
+	nonce := make([]byte, NonceSize)
+	binary.LittleEndian.PutUint64(nonce, c.nonce)
+	var plain [PlainSize]byte
+	binary.LittleEndian.PutUint32(plain[:], v)
+	return c.gcm.Seal(nonce, nonce, plain[:], nil)
+}
+
+// Open decrypts a sealed message.
+func (c *Cipher) Open(msg []byte) (uint32, error) {
+	if len(msg) != CipherSize {
+		return 0, fmt.Errorf("secure: ciphertext is %d bytes, want %d", len(msg), CipherSize)
+	}
+	plain, err := c.gcm.Open(nil, msg[:NonceSize], msg[NonceSize:], nil)
+	if err != nil {
+		return 0, fmt.Errorf("secure: %w", err)
+	}
+	return binary.LittleEndian.Uint32(plain), nil
+}
+
+// Multiplier is the constant the enclave multiplies by (any value works; the
+// experiment only checks the round trip).
+const Multiplier = 7
+
+// EnclaveCompute is the in-enclave body: decrypt, multiply, encrypt.
+func EnclaveCompute(key *Cipher, request []byte) ([]byte, error) {
+	v, err := key.Open(request)
+	if err != nil {
+		return nil, err
+	}
+	return key.Seal(v * Multiplier), nil
+}

@@ -1,0 +1,82 @@
+package secure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	c, err := NewCipher(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := c.Seal(12345)
+	if len(msg) != CipherSize {
+		t.Fatalf("ciphertext %d bytes, want %d", len(msg), CipherSize)
+	}
+	v, err := c.Open(msg)
+	if err != nil || v != 12345 {
+		t.Fatalf("open: %v %v", v, err)
+	}
+}
+
+func TestBadKeyRejected(t *testing.T) {
+	if _, err := NewCipher([]byte("short")); err == nil {
+		t.Fatal("bad key length must fail")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	c, _ := NewCipher(testKey)
+	msg := c.Seal(7)
+	msg[NonceSize] ^= 1
+	if _, err := c.Open(msg); err == nil {
+		t.Fatal("tampered ciphertext must fail authentication")
+	}
+	if _, err := c.Open(msg[:5]); err == nil {
+		t.Fatal("truncated ciphertext must fail")
+	}
+}
+
+func TestNoncesUnique(t *testing.T) {
+	c, _ := NewCipher(testKey)
+	a, b := c.Seal(1), c.Seal(1)
+	if bytes.Equal(a, b) {
+		t.Fatal("same plaintext must never produce identical ciphertexts")
+	}
+}
+
+func TestEnclaveCompute(t *testing.T) {
+	c, _ := NewCipher(testKey)
+	req := c.Seal(6)
+	resp, err := EnclaveCompute(c, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Open(resp)
+	if err != nil || v != 42 {
+		t.Fatalf("enclave result %d, want 42", v)
+	}
+	if _, err := EnclaveCompute(c, []byte("garbage garbage garbage garbage!")); err == nil {
+		t.Fatal("garbage request must fail")
+	}
+}
+
+// Property: the enclave multiplies exactly, for any input.
+func TestEnclaveProperty(t *testing.T) {
+	c, _ := NewCipher(testKey)
+	prop := func(v uint32) bool {
+		resp, err := EnclaveCompute(c, c.Seal(v))
+		if err != nil {
+			return false
+		}
+		got, err := c.Open(resp)
+		return err == nil && got == v*Multiplier
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

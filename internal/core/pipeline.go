@@ -1,0 +1,158 @@
+// Accelerator composition: the paper positions Lynx as "a stepping stone for
+// a general infrastructure targeting multi-accelerator systems which will
+// enable efficient composition of accelerators and CPUs in a single
+// application" (§1). This file implements that extension: pipelines, where a
+// request flows client -> stage 0 -> stage 1 -> ... -> client, each stage an
+// mqueue on (possibly) a different accelerator, with the SNIC relaying
+// between stages through the same RDMA machinery — no host CPU and no
+// network stack anywhere between stages.
+package core
+
+import (
+	"fmt"
+
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/sim"
+	"lynx/internal/trace"
+)
+
+// Pipeline is a chain of accelerator stages behind one network service.
+type Pipeline struct {
+	rt     *Runtime
+	proto  Proto
+	port   uint16
+	policy Policy
+	// stages[i] holds the parallel queues of stage i.
+	stages [][]*pipeQueue
+
+	udpSock *netstack.UDPSocket
+	tcpList *netstack.TCPListener
+
+	relayed uint64 // stage-to-stage messages moved by the SNIC
+}
+
+// pipeQueue is one mqueue of one stage, with per-slot continuations.
+type pipeQueue struct {
+	q       *mqueue.Queue
+	h       *AccelHandle
+	pending [][]replyTo
+}
+
+// AddPipeline exposes a multi-accelerator pipeline as a network service on
+// port. Each stage claims `count` parallel mqueues from its handle; the
+// dispatch policy picks among the parallel queues independently at every
+// stage. Requests enter stage 0; each stage's TX output becomes the next
+// stage's RX input; the final stage's output returns to the client that sent
+// the request, with the usual server-mqueue reply-to-sender semantics.
+func (rt *Runtime) AddPipeline(proto Proto, port uint16, policy Policy, count int, stages ...*AccelHandle) (*Pipeline, error) {
+	if rt.started {
+		return nil, fmt.Errorf("core: cannot add pipelines after Start")
+	}
+	if len(stages) < 2 {
+		return nil, fmt.Errorf("core: a pipeline needs at least two stages (use AddService for one)")
+	}
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	pl := &Pipeline{rt: rt, proto: proto, port: port, policy: policy}
+	var claimed []*AccelHandle
+	rollback := func() {
+		for _, h := range claimed {
+			h.unclaim(count)
+		}
+	}
+	for _, h := range stages {
+		qs, _, err := h.claim(count)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		claimed = append(claimed, h)
+		var stage []*pipeQueue
+		for _, q := range qs {
+			stage = append(stage, &pipeQueue{
+				q: q, h: h, pending: make([][]replyTo, q.Config().Slots),
+			})
+		}
+		pl.stages = append(pl.stages, stage)
+	}
+	var err error
+	switch proto {
+	case UDP:
+		pl.udpSock, err = rt.plat.NetHost.UDPBind(port)
+	case TCP:
+		pl.tcpList, err = rt.plat.NetHost.TCPListen(port)
+	}
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	rt.pipelines = append(rt.pipelines, pl)
+	return pl, nil
+}
+
+// Addr returns the pipeline's service address.
+func (pl *Pipeline) Addr() netstack.Addr { return pl.rt.plat.NetHost.Addr(pl.port) }
+
+// Relayed reports stage-to-stage messages moved by the SNIC.
+func (pl *Pipeline) Relayed() uint64 { return pl.relayed }
+
+// Stages reports the number of stages.
+func (pl *Pipeline) Stages() int { return len(pl.stages) }
+
+// enter dispatches a client request into stage 0.
+func (pl *Pipeline) enter(p *sim.Proc, payload []byte, to replyTo) {
+	rt := pl.rt
+	rt.exec(p, rt.plat.Params.DispatchCost)
+	pl.pushStage(p, 0, payload, to)
+}
+
+// pushStage delivers a message into one stage, recording the continuation.
+func (pl *Pipeline) pushStage(p *sim.Proc, stage int, payload []byte, to replyTo) {
+	rt := pl.rt
+	queues := pl.stages[stage]
+	pq := queues[pl.policy.Pick(netstack.Addr{}, len(queues))]
+	slot, err := pq.q.Push(p, payload, 0)
+	if err != nil {
+		rt.dropped++
+		return
+	}
+	pq.pending[slot] = append(pq.pending[slot], to)
+	if stage == 0 {
+		rt.received++
+	}
+}
+
+// advance handles a TX message from stage i: relay to stage i+1 or answer
+// the client.
+func (pl *Pipeline) advance(p *sim.Proc, stage int, pq *pipeQueue, msg mqueue.TxMsg) {
+	rt := pl.rt
+	fifo := pq.pending[msg.Corr]
+	if len(fifo) == 0 {
+		return // output without a matching input; drop
+	}
+	to := fifo[0]
+	pq.pending[msg.Corr] = fifo[1:]
+	if stage+1 < len(pl.stages) {
+		// Stage-to-stage relay: one dispatch cost, no network stack.
+		rt.exec(p, rt.plat.Params.DispatchCost)
+		pl.relayed++
+		rt.plat.Tracer.Emit(p.Now(), trace.Relay, uint64(stage+1), 0)
+		pl.pushStage(p, stage+1, msg.Payload, to)
+		return
+	}
+	// Final stage: back to the client.
+	rt.exec(p, rt.plat.Params.ForwardCost)
+	switch pl.proto {
+	case UDP:
+		rt.exec(p, rt.udpCost())
+		pl.udpSock.SendTo(to.udpFrom, msg.Payload)
+	case TCP:
+		rt.exec(p, rt.tcpCost())
+		if to.conn != nil {
+			_ = to.conn.Send(p, msg.Payload)
+		}
+	}
+	rt.responded++
+}

@@ -1,0 +1,219 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/core"
+	"lynx/internal/metrics"
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/sim"
+	"lynx/internal/workload"
+)
+
+// startStageTBs launches persistent threadblocks for one pipeline stage:
+// each appends its tag to the payload.
+func startStageTBs(t *testing.T, b *bed, gpu *accel.GPU, h *core.AccelHandle, first, count int, tag byte, work time.Duration) {
+	t.Helper()
+	qs := h.AccelQueues()
+	if err := gpu.LaunchPersistent(b.tb.Sim, count, func(tb *accel.TB) {
+		aq := qs[first+tb.Index()%count]
+		for {
+			m := aq.Recv(tb.Proc())
+			if work > 0 {
+				tb.Compute(work)
+			}
+			out := append(append([]byte{}, m.Payload...), tag)
+			if aq.Send(tb.Proc(), uint16(m.Slot), out) != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A two-stage pipeline across two GPUs: requests traverse both accelerators
+// and return transformed, with no application code on the SNIC.
+func TestPipelineTwoGPUs(t *testing.T) {
+	b := newBed(t, 21)
+	gpu2 := b.server.AddGPU("gpu1", accel.K40m, false, "server1")
+	rt := core.NewRuntime(b.bf.Platform(7))
+	cfg := mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}
+	h1, err := rt.Register(b.gpu, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := rt.Register(gpu2, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := rt.AddPipeline(core.UDP, 7000, nil, 2, h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stages() != 2 {
+		t.Fatalf("stages = %d", pl.Stages())
+	}
+	startStageTBs(t, b, b.gpu, h1, 0, 2, 'A', 10*time.Microsecond)
+	startStageTBs(t, b, gpu2, h2, 0, 2, 'B', 10*time.Microsecond)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 60
+	got := 0
+	hist := metrics.NewHistogram()
+	cli := b.client.MustUDPBind(9000)
+	b.tb.Sim.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			start := p.Now()
+			cli.SendTo(pl.Addr(), []byte(fmt.Sprintf("r%02d", i)))
+			dg := cli.Recv(p)
+			hist.Record(p.Now().Sub(start))
+			want := fmt.Sprintf("r%02dAB", i)
+			if string(dg.Payload) != want {
+				t.Errorf("reply %d = %q, want %q", i, dg.Payload, want)
+			}
+			got++
+		}
+	})
+	b.tb.Sim.RunUntilCond(sim.Time(time.Second), time.Millisecond, func() bool { return got == n })
+	b.tb.Sim.Shutdown()
+	if got != n {
+		t.Fatalf("completed %d/%d pipeline round trips", got, n)
+	}
+	if pl.Relayed() != n {
+		t.Fatalf("relayed = %d, want %d (one relay per request)", pl.Relayed(), n)
+	}
+	rcv, resp, drop := rt.Stats()
+	if rcv != n || resp != n || drop != 0 {
+		t.Fatalf("stats rcv=%d resp=%d drop=%d", rcv, resp, drop)
+	}
+}
+
+// Stage-to-stage relays skip the network stack, so a pipeline hop must be
+// much cheaper than going back out to a client and in again.
+func TestPipelineHopCheaperThanNetworkBounce(t *testing.T) {
+	// Pipelined: client -> stage0 -> stage1 -> client.
+	pipelined := func() time.Duration {
+		b := newBed(t, 22)
+		rt := core.NewRuntime(b.bf.Platform(7))
+		cfg := mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}
+		h, _ := rt.Register(b.gpu, cfg, 2)
+		pl, err := rt.AddPipeline(core.UDP, 7000, nil, 1, h, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := h.AccelQueues()
+		b.gpu.LaunchPersistent(b.tb.Sim, 2, func(tb *accel.TB) {
+			aq := qs[tb.Index()]
+			for {
+				m := aq.Recv(tb.Proc())
+				if aq.Send(tb.Proc(), uint16(m.Slot), m.Payload) != nil {
+					return
+				}
+			}
+		})
+		rt.Start()
+		return measureRTT(b, pl.Addr(), 40)
+	}()
+	// Bounced: client calls stage0's service, then stage1's service.
+	bounced := func() time.Duration {
+		b := newBed(t, 23)
+		rt := core.NewRuntime(b.bf.Platform(7))
+		cfg := mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}
+		h, _ := rt.Register(b.gpu, cfg, 2)
+		rt.AddService(core.UDP, 7000, nil, 1, h)
+		rt.AddService(core.UDP, 7001, nil, 1, h)
+		qs := h.AccelQueues()
+		b.gpu.LaunchPersistent(b.tb.Sim, 2, func(tb *accel.TB) {
+			aq := qs[tb.Index()]
+			for {
+				m := aq.Recv(tb.Proc())
+				if aq.Send(tb.Proc(), uint16(m.Slot), m.Payload) != nil {
+					return
+				}
+			}
+		})
+		rt.Start()
+		hist := metrics.NewHistogram()
+		done := false
+		cli := b.client.MustUDPBind(9000)
+		b.tb.Sim.Spawn("client", func(p *sim.Proc) {
+			for i := 0; i < 40; i++ {
+				start := p.Now()
+				cli.SendTo(netstack.Addr{Host: "bf1", Port: 7000}, make([]byte, 32))
+				dg := cli.Recv(p)
+				cli.SendTo(netstack.Addr{Host: "bf1", Port: 7001}, dg.Payload)
+				cli.Recv(p)
+				hist.Record(p.Now().Sub(start))
+			}
+			done = true
+		})
+		b.tb.Sim.RunUntilCond(sim.Time(time.Second), time.Millisecond, func() bool { return done })
+		b.tb.Sim.Shutdown()
+		return hist.Median()
+	}()
+	if pipelined >= bounced {
+		t.Fatalf("pipeline hop (%v) should beat a client bounce (%v)", pipelined, bounced)
+	}
+}
+
+func measureRTT(b *bed, target netstack.Addr, n int) time.Duration {
+	hist := metrics.NewHistogram()
+	done := false
+	cli := b.client.MustUDPBind(9000)
+	b.tb.Sim.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			start := p.Now()
+			cli.SendTo(target, make([]byte, 32))
+			cli.Recv(p)
+			hist.Record(p.Now().Sub(start))
+		}
+		done = true
+	})
+	b.tb.Sim.RunUntilCond(sim.Time(time.Second), time.Millisecond, func() bool { return done })
+	b.tb.Sim.Shutdown()
+	return hist.Median()
+}
+
+func TestPipelineValidation(t *testing.T) {
+	b := newBed(t, 24)
+	rt := core.NewRuntime(b.bf.Platform(7))
+	cfg := mqueue.Config{Kind: mqueue.ServerQueue, Slots: 8, SlotSize: 64}
+	h, _ := rt.Register(b.gpu, cfg, 4)
+	if _, err := rt.AddPipeline(core.UDP, 7000, nil, 1, h); err == nil {
+		t.Fatal("single-stage pipeline must be rejected")
+	}
+	if _, err := rt.AddPipeline(core.UDP, 7000, nil, 3, h, h); err == nil {
+		t.Fatal("over-claiming queues must fail")
+	}
+	if _, err := rt.AddPipeline(core.UDP, 7000, nil, 2, h, h); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if _, err := rt.AddPipeline(core.UDP, 7002, nil, 1, h, h); err == nil {
+		t.Fatal("AddPipeline after Start must fail")
+	}
+	b.tb.Sim.Shutdown()
+}
+
+// test helpers shared by policy tests.
+func workloadCfg(target netstack.Addr, clients int, window time.Duration) workload.Config {
+	return workload.Config{
+		Proto: workload.UDP, Target: target, Payload: 64,
+		Clients: clients, Duration: window, Warmup: window / 5,
+	}
+}
+
+func workloadNew(b *bed, cfg workload.Config) *workload.Generator {
+	return workload.New(b.tb.Sim, cfg, b.client)
+}
+
+func workloadRun(b *bed, g *workload.Generator) workload.Result {
+	return workload.RunFor(b.tb.Sim, g)
+}

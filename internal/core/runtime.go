@@ -1,0 +1,704 @@
+// Package core implements the Lynx runtime — the paper's contribution: a
+// generic, application-agnostic network server that runs on a SmartNIC (or a
+// host CPU core for comparison) and connects network clients to accelerators
+// through mqueues (§4).
+//
+// Components, following Figure 4:
+//
+//   - Network Server: TCP/UDP endpoints listening on application ports.
+//   - Message Dispatcher: maps each received message to a server mqueue
+//     according to a dispatch policy, and delivers it with one-sided RDMA.
+//   - Message Forwarder: drains responses from TX rings and sends them back
+//     to the originating client (server queues) or to the configured backend
+//     (client queues).
+//   - Remote Message Queue Manager: the RDMA machinery that keeps all
+//     mqueue state in accelerator memory, one RC QP and one region per
+//     accelerator, with batched header polling.
+//
+// No application code runs on the SmartNIC; accelerators attach to their
+// queues via the lightweight mqueue accelerator-side library.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/cpuarch"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/rdma"
+	"lynx/internal/sim"
+	"lynx/internal/trace"
+)
+
+// Platform describes where a Lynx runtime executes: a BlueField SmartNIC, a
+// set of host CPU cores, etc.
+type Platform struct {
+	Sim    *sim.Sim
+	Params *model.Params
+	// Machine provides the core microarchitecture (Xeon/ARM) and the noisy
+	// neighbor state.
+	Machine *cpuarch.Machine
+	// NetHost is the runtime's network endpoint (the SNIC's multi-homed
+	// address, §2, or the host's own when Lynx runs on the CPU).
+	NetHost *netstack.Host
+	// RDMA is the NIC engine used by the Remote MQ Manager.
+	RDMA *rdma.Engine
+	// Workers is the number of cores dedicated to the runtime (7 of 8 ARM
+	// cores on BlueField, §6.1; 1 or 6 Xeon cores in the comparisons).
+	Workers int
+	// Bypass selects VMA user-level networking (§5.1.1); the paper always
+	// enables it where available.
+	Bypass bool
+	// Tracer, when non-nil, records runtime events (see internal/trace).
+	Tracer *trace.Tracer
+}
+
+// Runtime is one Lynx instance.
+type Runtime struct {
+	plat   Platform
+	cores  *sim.Resource
+	serial *sim.Resource
+
+	handles   []*AccelHandle
+	services  []*Service
+	clients   []*ClientBinding
+	pipelines []*Pipeline
+
+	started bool
+
+	// Stats
+	received  uint64 // messages accepted from the network
+	responded uint64 // responses sent to clients
+	dropped   uint64 // messages dropped on full rings
+
+	nextEphemeral uint16
+	cpuBusy       time.Duration
+	execCalls     uint64
+}
+
+// CPUBusy reports accumulated runtime CPU time (for utilization probes).
+func (rt *Runtime) CPUBusy() time.Duration { return rt.cpuBusy }
+
+// ExecCalls reports frontend exec invocations (for utilization probes).
+func (rt *Runtime) ExecCalls() uint64 { return rt.execCalls }
+
+// NewRuntime creates a runtime on the platform. Call Register/AddService/
+// AddClientQueue before Start.
+func NewRuntime(plat Platform) *Runtime {
+	if plat.Workers <= 0 {
+		plat.Workers = 1
+	}
+	return &Runtime{
+		plat:   plat,
+		cores:  sim.NewResource(plat.Sim, plat.Workers),
+		serial: sim.NewResource(plat.Sim, 1),
+	}
+}
+
+// exec charges one unit of frontend CPU work, splitting it into the
+// serialized stack section (the shared VMA ring + dispatcher state) and the
+// parallel remainder (see model.StackSerialFraction).
+func (rt *Runtime) exec(p *sim.Proc, cost time.Duration) {
+	scaled := rt.plat.Machine.Scale(cost)
+	ser := time.Duration(float64(scaled) * rt.plat.Params.StackSerialFraction)
+	rt.cpuBusy += scaled
+	rt.execCalls++
+	rt.serial.With(p, ser, nil)
+	rt.cores.With(p, scaled-ser, nil)
+}
+
+// execParallel charges CPU work with no serialized section: client-mqueue
+// bindings each own a dedicated connection context, so they scale with
+// cores.
+func (rt *Runtime) execParallel(p *sim.Proc, cost time.Duration) {
+	scaled := rt.plat.Machine.Scale(cost)
+	rt.cpuBusy += scaled
+	rt.cores.With(p, scaled, nil)
+}
+
+func (rt *Runtime) udpCost() time.Duration {
+	return rt.plat.Params.UDPCost(model.XeonCore, rt.plat.Bypass)
+}
+
+func (rt *Runtime) tcpCost() time.Duration {
+	return rt.plat.Params.TCPCost(model.XeonCore, rt.plat.Bypass)
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator registration (the host-CPU setup role of §4.3)
+
+// AccelHandle binds one accelerator's mqueue group.
+type AccelHandle struct {
+	acc    accel.Accelerator
+	cfg    mqueue.Config
+	group  *mqueue.Group
+	accQs  []*mqueue.AccelQueue
+	nInUse int
+}
+
+// Register allocates n mqueues in the accelerator's memory, establishes the
+// per-accelerator RC QP (one per accelerator, §5.1), and returns the handle.
+// This models the host-CPU initialization step: the host sets everything up,
+// passes the pointers around, and "remains idle from that point" (§4.3).
+func (rt *Runtime) Register(acc accel.Accelerator, cfg mqueue.Config, n int) (*AccelHandle, error) {
+	if rt.started {
+		return nil, fmt.Errorf("core: cannot register accelerators after Start")
+	}
+	region, err := acc.Device().Mem.Alloc(fmt.Sprintf("lynx-mq%d", len(rt.handles)), mqueue.GroupFootprint(cfg, n))
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating mqueue region on %s: %w", acc.Name(), err)
+	}
+	qp := rt.plat.RDMA.CreateQP(acc.Device(), rdma.QPConfig{
+		Kind:   rdma.RC,
+		Remote: acc.RemoteHost() != "",
+	})
+	group, err := mqueue.NewGroup(region, 0, cfg, n, qp)
+	if err != nil {
+		return nil, err
+	}
+	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, acc.Profile())
+	if err != nil {
+		return nil, err
+	}
+	h := &AccelHandle{acc: acc, cfg: cfg, group: group, accQs: accQs}
+	rt.handles = append(rt.handles, h)
+	return h, nil
+}
+
+// Accelerator returns the registered accelerator.
+func (h *AccelHandle) Accelerator() accel.Accelerator { return h.acc }
+
+// AccelQueues returns the accelerator-side queue handles, to be wired into
+// the accelerator's request-processing code (persistent kernel TBs etc.).
+func (h *AccelHandle) AccelQueues() []*mqueue.AccelQueue { return h.accQs }
+
+// claim reserves count queues of the handle for a service or client binding.
+func (h *AccelHandle) claim(count int) ([]*mqueue.Queue, []int, error) {
+	if h.nInUse+count > h.group.Len() {
+		return nil, nil, fmt.Errorf("core: accelerator %s has %d free mqueues, %d requested",
+			h.acc.Name(), h.group.Len()-h.nInUse, count)
+	}
+	base := h.nInUse
+	var qs []*mqueue.Queue
+	var idx []int
+	for i := 0; i < count; i++ {
+		qs = append(qs, h.group.Queue(base+i))
+		idx = append(idx, base+i)
+	}
+	h.nInUse += count
+	return qs, idx, nil
+}
+
+// unclaim rolls back the most recent claim of count queues (used when a
+// later stage/handle of the same registration fails).
+func (h *AccelHandle) unclaim(count int) { h.nInUse -= count }
+
+// ---------------------------------------------------------------------------
+// Dispatch policies (§4.2: "according to the dispatching policy, e.g. load
+// balancing for stateless services, or steering messages to specific queues
+// for stateful ones")
+
+// Policy selects a server mqueue for an incoming message.
+type Policy interface {
+	// Pick returns a queue index in [0, n) for a message from the client.
+	Pick(from netstack.Addr, n int) int
+}
+
+// RoundRobin balances load across queues (stateless services).
+type RoundRobin struct{ next int }
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(_ netstack.Addr, n int) int {
+	i := r.next % n
+	r.next++
+	return i
+}
+
+// LeastLoaded picks the queue with the fewest in-flight requests, falling
+// back to round-robin among ties. It uses only SNIC-local state (the
+// dispatcher's own in-flight accounting), so it costs nothing extra on the
+// wire.
+type LeastLoaded struct {
+	queues []*mqueue.Queue
+	rr     int
+}
+
+// NewLeastLoaded builds the policy for a service's queues. Pass the queues
+// in the order the service claims them; AddService with this policy must use
+// the same accelerator handles.
+func NewLeastLoaded(h *AccelHandle) *LeastLoaded {
+	p := &LeastLoaded{}
+	for i := 0; i < h.group.Len(); i++ {
+		p.queues = append(p.queues, h.group.Queue(i))
+	}
+	return p
+}
+
+// Pick implements Policy.
+func (l *LeastLoaded) Pick(_ netstack.Addr, n int) int {
+	if len(l.queues) < n {
+		// Not wired to the handle (or wired partially): degrade to RR.
+		l.rr++
+		return (l.rr - 1) % n
+	}
+	best, bestLoad := 0, int(^uint(0)>>1)
+	for i := 0; i < n; i++ {
+		qi := (l.rr + i) % n // rotate tie-breaking
+		if load := l.queues[qi].InFlight(); load < bestLoad {
+			best, bestLoad = qi, load
+		}
+	}
+	l.rr++
+	return best
+}
+
+// StickyHash steers each client to a fixed queue (stateful services).
+type StickyHash struct{}
+
+// Pick implements Policy.
+func (StickyHash) Pick(from netstack.Addr, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(from.Host); i++ {
+		h = (h ^ uint32(from.Host[i])) * 16777619
+	}
+	h = (h ^ uint32(from.Port)) * 16777619
+	// Final avalanche: FNV's low bits are weak for modulo bucketing.
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	return int(h % uint32(n))
+}
+
+// ---------------------------------------------------------------------------
+// Services
+
+// Proto selects the client-facing transport of a service.
+type Proto int
+
+const (
+	// UDP transport (sockperf-style datagrams).
+	UDP Proto = iota
+	// TCP transport (framed messages over connections).
+	TCP
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	if p == TCP {
+		return "TCP"
+	}
+	return "UDP"
+}
+
+// replyTo records where a response must go.
+type replyTo struct {
+	udpFrom netstack.Addr
+	conn    *netstack.TCPConn
+}
+
+// boundQueue is one server mqueue attached to a service.
+type boundQueue struct {
+	q *mqueue.Queue
+	h *AccelHandle
+	// pending maps RX slot -> FIFO of outstanding reply destinations.
+	pending [][]replyTo
+}
+
+// Service is one accelerated network service frontend.
+type Service struct {
+	rt     *Runtime
+	proto  Proto
+	port   uint16
+	policy Policy
+	queues []*boundQueue
+
+	udpSock *netstack.UDPSocket
+	tcpList *netstack.TCPListener
+}
+
+// AddService exposes `count` mqueues of each given accelerator handle as one
+// network service on port. Queues from all handles form the dispatch set.
+func (rt *Runtime) AddService(proto Proto, port uint16, policy Policy, count int, handles ...*AccelHandle) (*Service, error) {
+	if rt.started {
+		return nil, fmt.Errorf("core: cannot add services after Start")
+	}
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	svc := &Service{rt: rt, proto: proto, port: port, policy: policy}
+	var claimed []*AccelHandle
+	rollback := func() {
+		for _, h := range claimed {
+			h.unclaim(count)
+		}
+	}
+	for _, h := range handles {
+		qs, _, err := h.claim(count)
+		if err != nil {
+			rollback()
+			return nil, err
+		}
+		claimed = append(claimed, h)
+		for _, q := range qs {
+			svc.queues = append(svc.queues, &boundQueue{
+				q: q, h: h, pending: make([][]replyTo, q.Config().Slots),
+			})
+		}
+	}
+	if len(svc.queues) == 0 {
+		return nil, fmt.Errorf("core: service on port %d has no mqueues", port)
+	}
+	var err error
+	switch proto {
+	case UDP:
+		svc.udpSock, err = rt.plat.NetHost.UDPBind(port)
+	case TCP:
+		svc.tcpList, err = rt.plat.NetHost.TCPListen(port)
+	}
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	rt.services = append(rt.services, svc)
+	return svc, nil
+}
+
+// Port returns the listening port.
+func (s *Service) Port() uint16 { return s.port }
+
+// Addr returns the service's network address.
+func (s *Service) Addr() netstack.Addr { return s.rt.plat.NetHost.Addr(s.port) }
+
+// dispatch delivers one client message to a server mqueue.
+func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstack.Addr) {
+	rt := s.rt
+	rt.plat.Tracer.Emit(p.Now(), trace.Recv, uint64(len(payload)), uint64(s.port))
+	rt.exec(p, rt.plat.Params.DispatchCost)
+	qi := s.policy.Pick(from, len(s.queues))
+	bq := s.queues[qi]
+	slot, err := bq.q.Push(p, payload, 0)
+	if err != nil {
+		rt.dropped++
+		rt.plat.Tracer.Emit(p.Now(), trace.Drop, uint64(qi), 0)
+		return
+	}
+	bq.pending[slot] = append(bq.pending[slot], to)
+	rt.received++
+	rt.plat.Tracer.Emit(p.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+}
+
+// forwardResponse routes one TX message of a server queue back to its
+// client.
+func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg) {
+	rt := s.rt
+	rt.plat.Tracer.Emit(p.Now(), trace.Drain, uint64(msg.Slot), uint64(msg.Corr))
+	rt.exec(p, rt.plat.Params.ForwardCost)
+	fifo := bq.pending[msg.Corr]
+	if len(fifo) == 0 {
+		return // response without a matching request (app bug); drop
+	}
+	to := fifo[0]
+	bq.pending[msg.Corr] = fifo[1:]
+	switch s.proto {
+	case UDP:
+		rt.exec(p, rt.udpCost())
+		s.udpSock.SendTo(to.udpFrom, msg.Payload)
+	case TCP:
+		rt.exec(p, rt.tcpCost())
+		if to.conn != nil {
+			_ = to.conn.Send(p, msg.Payload)
+		}
+	}
+	rt.responded++
+	rt.plat.Tracer.Emit(p.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
+}
+
+// ---------------------------------------------------------------------------
+// Client mqueues (§4.3: accelerator-initiated connections to backends)
+
+// ClientBinding wires one client mqueue to a fixed backend destination over
+// TCP (the §6.4 memcached pattern) or UDP.
+type ClientBinding struct {
+	rt    *Runtime
+	proto Proto
+	dst   netstack.Addr
+	bq    *boundQueue
+	conn  *netstack.TCPConn
+	sock  *netstack.UDPSocket
+	qi    int
+}
+
+// AddClientQueue claims one mqueue of the handle as a client mqueue bound to
+// dst. "The destination address is assigned when the server is initialized"
+// (§4.3): the connection is established at Start and never changes.
+func (rt *Runtime) AddClientQueue(h *AccelHandle, proto Proto, dst netstack.Addr) (*ClientBinding, error) {
+	if rt.started {
+		return nil, fmt.Errorf("core: cannot add client queues after Start")
+	}
+	qs, idx, err := h.claim(1)
+	if err != nil {
+		return nil, err
+	}
+	cb := &ClientBinding{
+		rt: rt, proto: proto, dst: dst, qi: idx[0],
+		bq: &boundQueue{q: qs[0], h: h},
+	}
+	rt.clients = append(rt.clients, cb)
+	return cb, nil
+}
+
+// QueueIndex returns the index of the claimed mqueue within the handle's
+// group (to find the matching AccelQueues() entry).
+func (cb *ClientBinding) QueueIndex() int { return cb.qi }
+
+// forwardOut ships one accelerator-originated message to the backend.
+func (cb *ClientBinding) forwardOut(p *sim.Proc, msg mqueue.TxMsg) {
+	rt := cb.rt
+	rt.plat.Tracer.Emit(p.Now(), trace.BackendOut, uint64(len(msg.Payload)), uint64(cb.qi))
+	rt.execParallel(p, rt.plat.Params.ForwardCost)
+	switch cb.proto {
+	case UDP:
+		rt.execParallel(p, rt.udpCost())
+		cb.sock.SendTo(cb.dst, msg.Payload)
+	case TCP:
+		rt.execParallel(p, rt.tcpCost())
+		if cb.conn != nil {
+			if err := cb.conn.Send(p, msg.Payload); err != nil {
+				// Report the connection error through mqueue metadata
+				// (§5.1): push an empty error-flagged message.
+				_, _ = cb.bq.q.Push(p, nil, 1)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Runtime start: spawn the worker processes
+
+// Start brings up the Network Server, Message Dispatcher, Message Forwarder
+// and Remote MQ Manager processes. It must be called once, after all
+// registration.
+func (rt *Runtime) Start() error {
+	if rt.started {
+		return fmt.Errorf("core: already started")
+	}
+	rt.started = true
+	s := rt.plat.Sim
+
+	// Network server: receive paths.
+	for _, svc := range rt.services {
+		svc := svc
+		switch svc.proto {
+		case UDP:
+			// One receive context per worker core, all draining the
+			// shared socket (RSS-like).
+			for w := 0; w < rt.plat.Workers; w++ {
+				s.Spawn(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(p *sim.Proc) {
+					for {
+						dg := svc.udpSock.Recv(p)
+						rt.exec(p, rt.udpCost())
+						svc.dispatch(p, dg.Payload, replyTo{udpFrom: dg.From}, dg.From)
+					}
+				})
+			}
+		case TCP:
+			s.Spawn(fmt.Sprintf("lynx/tcp-accept:%d", svc.port), func(p *sim.Proc) {
+				for {
+					conn := svc.tcpList.Accept(p)
+					s.Spawn(fmt.Sprintf("lynx/tcp-rx:%d", svc.port), func(p *sim.Proc) {
+						for {
+							msg, err := conn.Recv(p)
+							if err != nil {
+								return
+							}
+							rt.exec(p, rt.tcpCost())
+							svc.dispatch(p, msg, replyTo{conn: conn}, conn.RemoteAddr())
+						}
+					})
+				}
+			})
+		}
+	}
+
+	// Pipeline frontends: same receive paths as services, entering stage 0.
+	for _, pl := range rt.pipelines {
+		pl := pl
+		switch pl.proto {
+		case UDP:
+			for w := 0; w < rt.plat.Workers; w++ {
+				s.Spawn(fmt.Sprintf("lynx/pipe-rx:%d/%d", pl.port, w), func(p *sim.Proc) {
+					for {
+						dg := pl.udpSock.Recv(p)
+						rt.exec(p, rt.udpCost())
+						pl.enter(p, dg.Payload, replyTo{udpFrom: dg.From})
+					}
+				})
+			}
+		case TCP:
+			s.Spawn(fmt.Sprintf("lynx/pipe-accept:%d", pl.port), func(p *sim.Proc) {
+				for {
+					conn := pl.tcpList.Accept(p)
+					s.Spawn(fmt.Sprintf("lynx/pipe-tcp-rx:%d", pl.port), func(p *sim.Proc) {
+						for {
+							msg, err := conn.Recv(p)
+							if err != nil {
+								return
+							}
+							rt.exec(p, rt.tcpCost())
+							pl.enter(p, msg, replyTo{conn: conn})
+						}
+					})
+				}
+			})
+		}
+	}
+
+	// Client bindings: establish static connections, then pump responses
+	// inbound.
+	for _, cb := range rt.clients {
+		cb := cb
+		s.Spawn(fmt.Sprintf("lynx/client-mq:%s", cb.dst), func(p *sim.Proc) {
+			switch cb.proto {
+			case UDP:
+				rt.nextEphemeral++
+				sock, err := rt.plat.NetHost.UDPBind(52000 + rt.nextEphemeral)
+				if err != nil {
+					return
+				}
+				cb.sock = sock
+				for {
+					dg := sock.Recv(p)
+					rt.execParallel(p, rt.udpCost())
+					if _, err := cb.bq.q.Push(p, dg.Payload, 0); err != nil {
+						rt.dropped++
+					}
+				}
+			case TCP:
+				conn, err := rt.plat.NetHost.TCPDial(p, cb.dst)
+				if err != nil {
+					return
+				}
+				cb.conn = conn
+				for {
+					msg, err := conn.Recv(p)
+					if err != nil {
+						// §5.1: error status delivered via metadata.
+						_, _ = cb.bq.q.Push(p, nil, 1)
+						return
+					}
+					rt.execParallel(p, rt.tcpCost())
+					rt.plat.Tracer.Emit(p.Now(), trace.BackendIn, uint64(len(msg)), uint64(cb.qi))
+					if _, err := cb.bq.q.Push(p, msg, 0); err != nil {
+						rt.dropped++
+					}
+				}
+			}
+		})
+	}
+
+	// Remote MQ manager + message forwarder: one sweep process per
+	// accelerator (its QP context), draining TX rings with batched header
+	// polling.
+	type sink struct {
+		svc     *Service
+		cb      *ClientBinding
+		bq      *boundQueue
+		pl      *Pipeline
+		plStage int
+		pq      *pipeQueue
+	}
+	for _, h := range rt.handles {
+		h := h
+		sinks := make([]sink, h.group.Len())
+		for _, svc := range rt.services {
+			for _, bq := range svc.queues {
+				if bq.h == h {
+					for i := 0; i < h.group.Len(); i++ {
+						if h.group.Queue(i) == bq.q {
+							sinks[i] = sink{svc: svc, bq: bq}
+						}
+					}
+				}
+			}
+		}
+		for _, cb := range rt.clients {
+			if cb.bq.h == h {
+				sinks[cb.qi] = sink{cb: cb, bq: cb.bq}
+			}
+		}
+		for _, pl := range rt.pipelines {
+			for si, stage := range pl.stages {
+				for _, pq := range stage {
+					if pq.h != h {
+						continue
+					}
+					for i := 0; i < h.group.Len(); i++ {
+						if h.group.Queue(i) == pq.q {
+							sinks[i] = sink{pl: pl, plStage: si, pq: pq}
+						}
+					}
+				}
+			}
+		}
+		// The Remote MQ Manager's sweep work is shared by the worker
+		// cores: each context owns a partition of the accelerator's
+		// queues (the paper's workers split mqueues round-robin, §6.1).
+		nMgr := rt.plat.Workers
+		if nMgr > h.group.Len() {
+			nMgr = h.group.Len()
+		}
+		for w := 0; w < nMgr; w++ {
+			w := w
+			s.Spawn(fmt.Sprintf("lynx/mq-manager:%s/%d", h.acc.Name(), w), func(p *sim.Proc) {
+				gate := h.group.ActivityGate()
+				for {
+					v := gate.Version()
+					h.group.Refresh(p)
+					drained := false
+					for i := w; i < h.group.Len(); i += nMgr {
+						q := h.group.Queue(i)
+						for q.Ready() {
+							msg, ok := q.PopTx(p)
+							if !ok {
+								break
+							}
+							drained = true
+							sk := sinks[i]
+							switch {
+							case sk.svc != nil:
+								sk.svc.forwardResponse(p, sk.bq, msg)
+							case sk.cb != nil:
+								sk.cb.forwardOut(p, msg)
+							case sk.pl != nil:
+								sk.pl.advance(p, sk.plStage, sk.pq, msg)
+							}
+						}
+						q.CommitTx(p)
+					}
+					if !drained {
+						// The real manager spins at MQPollInterval; the
+						// simulator blocks on header activity and re-adds
+						// the polling detection delay.
+						gate.Wait(p, v)
+						p.Sleep(rt.plat.Params.MQPollInterval / 2)
+					}
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// Stats reports accepted, responded, and dropped message counts.
+func (rt *Runtime) Stats() (received, responded, dropped uint64) {
+	return rt.received, rt.responded, rt.dropped
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(from netstack.Addr, n int) int
+
+// Pick implements Policy.
+func (f PolicyFunc) Pick(from netstack.Addr, n int) int { return f(from, n) }

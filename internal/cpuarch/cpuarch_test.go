@@ -1,0 +1,116 @@
+package cpuarch
+
+import (
+	"testing"
+	"time"
+
+	"lynx/internal/metrics"
+	"lynx/internal/model"
+	"lynx/internal/sim"
+)
+
+func TestExecScalesByKind(t *testing.T) {
+	s := sim.New(sim.Config{Seed: 1})
+	p := model.Default()
+	xeon := New(s, &p, "host", model.XeonCore, 6)
+	arm := New(s, &p, "bluefield", model.ARMCore, 8)
+	var xeonT, armT time.Duration
+	s.Spawn("x", func(pr *sim.Proc) {
+		start := pr.Now()
+		xeon.Exec(pr, 10*time.Microsecond)
+		xeonT = pr.Now().Sub(start)
+		start = pr.Now()
+		arm.Exec(pr, 10*time.Microsecond)
+		armT = pr.Now().Sub(start)
+	})
+	s.Run()
+	if xeonT != 10*time.Microsecond {
+		t.Fatalf("xeon exec %v", xeonT)
+	}
+	if armT != 17500*time.Nanosecond {
+		t.Fatalf("arm exec %v, want 17.5µs (1.75x)", armT)
+	}
+}
+
+func TestMachineMetadata(t *testing.T) {
+	s := sim.New(sim.Config{Seed: 1})
+	p := model.Default()
+	m := New(s, &p, "bf", model.ARMCore, 8)
+	if m.Name() != "bf" || m.Kind() != model.ARMCore || m.NumCores() != 8 {
+		t.Fatal("metadata wrong")
+	}
+	if m.Noisy() {
+		t.Fatal("machines start quiet")
+	}
+}
+
+func TestCorePoolLimitsParallelism(t *testing.T) {
+	s := sim.New(sim.Config{Seed: 1})
+	p := model.Default()
+	m := New(s, &p, "host", model.XeonCore, 2)
+	var done []sim.Time
+	for i := 0; i < 4; i++ {
+		s.Spawn("job", func(pr *sim.Proc) {
+			m.ExecOn(pr, 100*time.Microsecond)
+			done = append(done, pr.Now())
+		})
+	}
+	s.Run()
+	if last := done[len(done)-1]; last != sim.Time(200*time.Microsecond) {
+		t.Fatalf("4 jobs on 2 cores finished at %v, want 200µs", last)
+	}
+	if m.Execs() != 4 {
+		t.Fatalf("execs = %d", m.Execs())
+	}
+}
+
+// Reproduces the §3.2 shape: a noisy neighbor blows up p99 by an order of
+// magnitude while the median moves far less.
+func TestNoisyNeighborInflatesTail(t *testing.T) {
+	run := func(noisy bool) (p50, p99 time.Duration) {
+		s := sim.New(sim.Config{Seed: 42})
+		p := model.Default()
+		m := New(s, &p, "host", model.XeonCore, 6)
+		m.SetNoisy(noisy)
+		h := metrics.NewHistogram()
+		s.Spawn("server", func(pr *sim.Proc) {
+			for i := 0; i < 20000; i++ {
+				start := pr.Now()
+				m.Exec(pr, 100*time.Microsecond) // vecmul-ish request
+				h.Record(pr.Now().Sub(start))
+			}
+		})
+		s.Run()
+		return h.Median(), h.P99()
+	}
+	quietP50, quietP99 := run(false)
+	noisyP50, noisyP99 := run(true)
+	if quietP99 != quietP50 {
+		t.Fatalf("quiet run should be deterministic: p50=%v p99=%v", quietP50, quietP99)
+	}
+	ratio := float64(noisyP99) / float64(quietP99)
+	if ratio < 5 || ratio > 25 {
+		t.Fatalf("noisy/quiet p99 ratio %.1f, paper reports ~13x", ratio)
+	}
+	medianRatio := float64(noisyP50) / float64(quietP50)
+	if medianRatio > 1.3 {
+		t.Fatalf("median inflated %.2fx; interference should mostly hit the tail", medianRatio)
+	}
+}
+
+func TestStallAccounting(t *testing.T) {
+	s := sim.New(sim.Config{Seed: 7})
+	p := model.Default()
+	m := New(s, &p, "host", model.XeonCore, 1)
+	m.SetNoisy(true)
+	s.Spawn("srv", func(pr *sim.Proc) {
+		for i := 0; i < 10000; i++ {
+			m.Exec(pr, time.Microsecond)
+		}
+	})
+	s.Run()
+	// Expect roughly LLCInterferenceProb * 10000 = ~120 stalls.
+	if m.Stalls() < 60 || m.Stalls() > 240 {
+		t.Fatalf("stalls = %d, want ~120", m.Stalls())
+	}
+}

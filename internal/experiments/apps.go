@@ -1,0 +1,516 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/apps/kvstore"
+	"lynx/internal/apps/lbp"
+	"lynx/internal/apps/lenet"
+	"lynx/internal/apps/secure"
+	"lynx/internal/core"
+	"lynx/internal/hostcentric"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/sim"
+	"lynx/internal/snic"
+	"lynx/internal/workload"
+)
+
+func init() {
+	register("fig9", "memcached co-location: host cores vs BlueField (Fig. 9)", fig9)
+	register("sec64-faceverify", "multi-tier face verification server (§6.4)", sec64FaceVerify)
+	register("sec62-vca", "VCA/SGX secure computing server (§6.2)", sec62VCA)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9: memcached + LeNet co-location
+
+// memcachedInstances runs n memcached worker processes on the machine's
+// cores (one pinned instance per core, the paper's deployment), serving the
+// real kvstore over UDP. batched selects the BlueField throughput-optimized
+// mode (deep batching: higher throughput, much higher latency).
+func memcachedInstances(tb *snic.Testbed, host *netstack.Host, machine interface {
+	Exec(p *sim.Proc, d time.Duration)
+	Scale(d time.Duration) time.Duration
+}, params *model.Params, port uint16, n int, kernelStack bool, batchLatency time.Duration, served *uint64) *kvstore.Store {
+	store := kvstore.NewStore(16, 0)
+	sock := host.MustUDPBind(port)
+	stackCost := params.UDPCost(model.XeonCore, !kernelStack)
+	if kernelStack {
+		// The BlueField runs memcached over the kernel stack (§6.3's
+		// efficiency experiment); ARM syscalls are dearer (§5.1.1).
+		stackCost = time.Duration(float64(stackCost) * params.ARMSyscallPenalty)
+	}
+	for i := 0; i < n; i++ {
+		tb.Sim.Spawn(fmt.Sprintf("memcached/%s/%d", host.Name(), i), func(p *sim.Proc) {
+			for {
+				dg := sock.Recv(p)
+				machine.Exec(p, stackCost)
+				// Strip the sequence header, serve, re-prefix.
+				if len(dg.Payload) < workload.SeqBytes {
+					continue
+				}
+				machine.Exec(p, params.MemcachedOpXeon)
+				reply := store.ServeRaw(dg.Payload[workload.SeqBytes:])
+				out := make([]byte, workload.SeqBytes+len(reply))
+				copy(out, dg.Payload[:workload.SeqBytes])
+				copy(out[workload.SeqBytes:], reply)
+				machine.Exec(p, stackCost)
+				if served != nil {
+					*served++
+				}
+				if batchLatency > 0 {
+					// Throughput-optimized batching: replies leave in batch
+					// windows. Throughput is unaffected; latency pays the
+					// window (Fig. 9: 160 µs p99 on BlueField at 400 Ktps).
+					from := dg.From
+					tb.Sim.After(batchLatency, func() { sock.SendTo(from, out) })
+					continue
+				}
+				sock.SendTo(dg.From, out)
+			}
+		})
+	}
+	return store
+}
+
+// memcachedLoad drives get-heavy traffic and reports the result.
+func memcachedLoad(e *env, target netstack.Addr, clients int, window time.Duration) workload.Result {
+	return e.measure(workload.Config{
+		Proto: workload.UDP, Target: target, Payload: 64,
+		Body: func(seq uint64, buf []byte) {
+			req := kvstore.EncodeGet(fmt.Sprintf("key-%03d", seq%512))
+			copy(buf[workload.SeqBytes:], req)
+		},
+		Clients: clients, Duration: window, Warmup: window / 5,
+	})
+}
+
+func fig9(cfg Config) *Report {
+	window := cfg.window(20 * time.Millisecond)
+	lenetNet := lenet.New(42)
+
+	type outcome struct {
+		name      string
+		hostTput  float64
+		hostP99   time.Duration
+		bfTput    float64
+		bfP99     time.Duration
+		lenetTput float64
+	}
+	run := func(name string, hostCores int, bfMemcached bool, bfBatched bool, lynxOnHostCore bool) outcome {
+		e := newEnv(cfg)
+		// Populate a store per instance set through the loader below.
+		var hostServed, bfServed uint64
+		st := memcachedInstances(e.tb, e.server.NetHost, e.server.CPU, &e.params, 11211, hostCores, false, 0, &hostServed)
+		for i := 0; i < 512; i++ {
+			st.Set(fmt.Sprintf("key-%03d", i), 0, []byte("value-0123456789"))
+		}
+		var bfStore *kvstore.Store
+		if bfMemcached {
+			batch := time.Duration(0)
+			if bfBatched {
+				batch = e.params.MemcachedBatchLatencyBF
+			}
+			bfStore = memcachedInstances(e.tb, e.bf.NetHost, e.bf.ARM, &e.params, 11211, 7, true, batch, &bfServed)
+			for i := 0; i < 512; i++ {
+				bfStore.Set(fmt.Sprintf("key-%03d", i), 0, []byte("value-0123456789"))
+			}
+		}
+		// The LeNet service rides on whatever platform is left.
+		var lynxPlat core.Platform
+		if lynxOnHostCore {
+			lynxPlat = e.server.HostPlatform(1, true)
+		} else {
+			lynxPlat = e.bf.Platform(7)
+		}
+		rt := core.NewRuntime(lynxPlat)
+		lenetTarget := deployLynxLeNet(e, rt, e.gpu, lenetNet, 7000, core.UDP)
+		rt.Start()
+
+		hostGen := workload.New(e.tb.Sim, workload.Config{
+			Proto: workload.UDP, Target: e.server.NetHost.Addr(11211), Payload: 64,
+			Body: func(seq uint64, buf []byte) {
+				copy(buf[workload.SeqBytes:], kvstore.EncodeGet(fmt.Sprintf("key-%03d", seq%512)))
+			},
+			Clients: 4 * hostCores, Duration: window, Warmup: window / 5,
+			BasePort: 21000,
+		}, e.clients[0])
+		hostRes := hostGen.Run()
+		var bfRes *workload.Result
+		if bfMemcached {
+			bfGen := workload.New(e.tb.Sim, workload.Config{
+				Proto: workload.UDP, Target: e.bf.NetHost.Addr(11211), Payload: 64,
+				Body: func(seq uint64, buf []byte) {
+					copy(buf[workload.SeqBytes:], kvstore.EncodeGet(fmt.Sprintf("key-%03d", seq%512)))
+				},
+				// Throughput-optimized: enough concurrency to saturate.
+				// Latency-optimized: light load, chasing the host's 15µs
+				// p99 target (which BlueField cannot reach, §6.3).
+				Clients:  map[bool]int{true: 96, false: 8}[bfBatched],
+				Duration: window, Warmup: window / 5,
+				BasePort: 22000,
+			}, e.clients[1])
+			bfRes = bfGen.Run()
+		}
+		lenetGen := workload.New(e.tb.Sim, workload.Config{
+			Proto: workload.UDP, Target: lenetTarget, Payload: lenetPayload,
+			Body: lenetBody(lenetNet), Clients: 3, Duration: window, Warmup: window / 5,
+			BasePort: 23000,
+		}, e.clients[0])
+		lenetRes := lenetGen.Run()
+
+		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/3))
+		e.tb.Sim.Shutdown()
+		out := outcome{name: name,
+			hostTput: hostRes.Throughput(), hostP99: hostRes.Hist.P99(),
+			lenetTput: lenetRes.Throughput()}
+		if bfRes != nil {
+			// Throughput from server-side completions (closed-loop client
+			// receipts understate batched configurations); latency from
+			// the clients.
+			out.bfTput = float64(bfServed) / (window + window/5).Seconds()
+			out.bfP99 = bfRes.Hist.P99()
+		}
+		return out
+	}
+
+	rows := []outcome{
+		run("5 cores", 5, false, false, false),
+		run("5 cores + BF (tput opt)", 5, true, true, true),
+		run("5 cores + BF (latency opt)", 5, true, false, true),
+		run("6 cores", 6, false, false, false),
+	}
+	r := &Report{
+		ID:      "fig9",
+		Title:   "memcached throughput/latency across placements (Fig. 9)",
+		Columns: []string{"memcached tput", "host p99", "BF tput", "BF p99", "LeNet req/s"},
+	}
+	for _, o := range rows {
+		bfT, bfL := "-", "-"
+		if o.bfTput > 0 {
+			bfT, bfL = fmtFloat(o.bfTput), o.bfP99.Round(time.Microsecond).String()
+		}
+		r.AddRow(o.name, o.hostTput, o.hostP99, bfT, bfL, o.lenetTput)
+	}
+	r.Note("paper: ~250 Ktps/Xeon core at 15µs p99; BlueField adds 400 Ktps at 160µs p99 (tput-optimized)")
+	r.Note("paper: the 15µs latency target is unreachable on BlueField (latency-optimized row)")
+	r.Note("paper: LeNet stays at 3.5K req/s in every placement")
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// §6.4: Face Verification (multi-tier)
+
+const (
+	fvLabelBytes = 12
+	fvReqBytes   = workload.SeqBytes + fvLabelBytes + lbp.ImageBytes
+)
+
+// fvBody builds [seq][label][probe image] requests for a random identity.
+func fvBody(seq uint64, buf []byte) {
+	id := uint32(seq % 500)
+	copy(buf[workload.SeqBytes:], []byte(fmt.Sprintf("person-%05d", id)))
+	probe := lbp.SynthFace(id, uint32(seq))
+	copy(buf[workload.SeqBytes+fvLabelBytes:], probe)
+}
+
+// fvPopulate stores every identity's reference image.
+func fvPopulate(store *kvstore.Store) {
+	for id := uint32(0); id < 500; id++ {
+		store.Set(fmt.Sprintf("person-%05d", id), 0, lbp.SynthFace(id, 0))
+	}
+}
+
+// fvVerify runs the real LBP comparison, returning [seq][0|1].
+func fvVerify(req, dbImage []byte) []byte {
+	resp := make([]byte, workload.SeqBytes+1)
+	copy(resp, req[:workload.SeqBytes])
+	probe := req[workload.SeqBytes+fvLabelBytes : fvReqBytes]
+	if ok, _, err := lbp.Verify(probe, dbImage, lbp.DefaultThreshold); err == nil && ok {
+		resp[workload.SeqBytes] = 1
+	}
+	return resp
+}
+
+// memcachedBackend hosts the image database on its own machine (TCP).
+func memcachedBackend(e *env) (*snic.Machine, *kvstore.Store) {
+	backend := e.tb.NewMachine("dbserver", 6)
+	store := kvstore.NewStore(16, 0)
+	fvPopulate(store)
+	l := backend.NetHost.MustTCPListen(11211)
+	e.tb.Sim.Spawn("memcached-backend", func(p *sim.Proc) {
+		for {
+			conn := l.Accept(p)
+			e.tb.Sim.Spawn("memcached-conn", func(p *sim.Proc) {
+				for {
+					msg, err := conn.Recv(p)
+					if err != nil {
+						return
+					}
+					backend.CPU.ExecOn(p, e.params.MemcachedOpXeon)
+					if conn.Send(p, store.ServeRaw(msg)) != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+	return backend, store
+}
+
+func sec64FaceVerify(cfg Config) *Report {
+	window := cfg.window(40 * time.Millisecond)
+	const nTB = 28 // 28 server mqueues / threadblocks (§6.4)
+
+	lynxRun := func(platform string) workload.Result {
+		e := newEnv(cfg)
+		_, _ = memcachedBackend(e)
+		plat := e.lynxPlatform(platform)
+		rt := core.NewRuntime(plat)
+		// Slots fit both the 1044-byte requests and the memcached VALUE
+		// replies (header line + 1024-byte image + trailer).
+		mqCfg := mqueue.Config{Kind: mqueue.ServerQueue, Slots: 8, SlotSize: fvReqBytes + 96}
+		h, err := rt.Register(e.gpu, mqCfg, 2*nTB) // server + client queue per TB
+		if err != nil {
+			panic(err)
+		}
+		svc, err := rt.AddService(core.UDP, 7000, nil, nTB, h)
+		if err != nil {
+			panic(err)
+		}
+		// One client mqueue per threadblock, all bound to the memcached
+		// backend over TCP (§6.4).
+		clientIdx := make([]int, nTB)
+		for i := 0; i < nTB; i++ {
+			cb, err := rt.AddClientQueue(h, core.TCP, netstack.Addr{Host: "dbserver", Port: 11211})
+			if err != nil {
+				panic(err)
+			}
+			clientIdx[i] = cb.QueueIndex()
+		}
+		qs := h.AccelQueues()
+		if err := e.gpu.LaunchPersistent(e.tb.Sim, nTB, func(tb *accel.TB) {
+			serverQ := qs[tb.Index()]
+			clientQ := qs[clientIdx[tb.Index()]]
+			for {
+				m := serverQ.Recv(tb.Proc())
+				if len(m.Payload) < fvReqBytes {
+					continue
+				}
+				label := m.Payload[workload.SeqBytes : workload.SeqBytes+fvLabelBytes]
+				if clientQ.Send(tb.Proc(), 0, kvstore.EncodeGet(string(label))) != nil {
+					return
+				}
+				dbReply := clientQ.Recv(tb.Proc())
+				img, ok, err := kvstore.DecodeValue(dbReply.Payload)
+				if err != nil || !ok {
+					continue
+				}
+				resp := fvVerify(m.Payload, img)
+				tb.Compute(e.params.FaceVerifyService) // the LBP kernel, ~50µs
+				if serverQ.Send(tb.Proc(), uint16(m.Slot), resp) != nil {
+					return
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+		rt.Start()
+		return e.measure(workload.Config{
+			Proto: workload.UDP, Target: svc.Addr(), Payload: fvReqBytes,
+			Body: fvBody, Clients: 2 * nTB, Duration: window, Warmup: window / 5,
+		})
+	}
+
+	hostRun := func() workload.Result {
+		e := newEnv(cfg)
+		_, _ = memcachedBackend(e)
+		// Pool of memcached connections shared by the stream workers.
+		conns := sim.NewChan[*netstack.TCPConn](e.tb.Sim, 0)
+		e.tb.Sim.Spawn("conn-pool", func(p *sim.Proc) {
+			for i := 0; i < nTB; i++ {
+				conn, err := e.server.NetHost.TCPDial(p, netstack.Addr{Host: "dbserver", Port: 11211})
+				if err != nil {
+					return
+				}
+				conns.Put(p, conn)
+			}
+		})
+		sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
+			Port: 7000, Streams: nTB, Cores: 2, Bypass: true,
+			KernelTime: e.params.FaceVerifyService,
+			H2DBytes:   2 * lbp.ImageBytes, D2HBytes: 16,
+			PreKernel: func(p *sim.Proc, req []byte) []byte {
+				if len(req) < fvReqBytes {
+					return req
+				}
+				label := req[workload.SeqBytes : workload.SeqBytes+fvLabelBytes]
+				conn := conns.Get(p)
+				defer conns.Put(p, conn)
+				e.server.CPU.ExecOn(p, e.params.TCPCost(model.XeonCore, true))
+				if conn.Send(p, kvstore.EncodeGet(string(label))) != nil {
+					return req
+				}
+				reply, err := conn.Recv(p)
+				if err != nil {
+					return req
+				}
+				e.server.CPU.ExecOn(p, e.params.TCPCost(model.XeonCore, true))
+				img, ok, derr := kvstore.DecodeValue(reply)
+				if derr != nil || !ok {
+					return req
+				}
+				return append(append([]byte{}, req...), img...)
+			},
+			Handler: func(req []byte) []byte {
+				if len(req) < fvReqBytes+lbp.ImageBytes {
+					return req[:workload.SeqBytes+1]
+				}
+				return fvVerify(req[:fvReqBytes], req[fvReqBytes:fvReqBytes+lbp.ImageBytes])
+			},
+		})
+		if err := sv.Start(); err != nil {
+			panic(err)
+		}
+		return e.measure(workload.Config{
+			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: fvReqBytes,
+			Body: fvBody, Clients: 2 * nTB, Duration: window, Warmup: window / 5,
+		})
+	}
+
+	hc := hostRun()
+	bf := lynxRun(platLynxBF)
+	xeon := lynxRun(platLynx6Xeon)
+	r := &Report{
+		ID:      "sec64-faceverify",
+		Title:   "Face Verification server: GPU frontend + memcached backend (§6.4)",
+		Columns: []string{"req/s", "p99", "speedup", "paper speedup"},
+	}
+	r.AddRow(platHostCentric, hc.Throughput(), hc.Hist.P99(), "1.0x", "1.0x")
+	r.AddRow(platLynxBF, bf.Throughput(), bf.Hist.P99(),
+		fmtFloat(speedup(bf.Throughput(), hc.Throughput()))+"x", "4.4x")
+	r.AddRow(platLynx6Xeon, xeon.Throughput(), xeon.Hist.P99(),
+		fmtFloat(speedup(xeon.Throughput(), hc.Throughput()))+"x", "4.6x")
+	r.Note("28 server mqueues, one LBP threadblock each; client mqueues reach memcached over TCP")
+	r.Note("paper: BlueField ~5%% below Xeon due to its slower TCP stack")
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// §6.2: VCA / SGX secure computing
+
+func sec62VCA(cfg Config) *Report {
+	window := cfg.window(250 * time.Millisecond)
+	key := []byte("0123456789abcdef")
+	mkBody := func(c *secure.Cipher) func(seq uint64, buf []byte) {
+		return func(seq uint64, buf []byte) {
+			copy(buf[workload.SeqBytes:], c.Seal(uint32(seq)))
+		}
+	}
+	const vcaPayload = workload.SeqBytes + secure.CipherSize
+
+	// enclaveServe decrypts, multiplies, encrypts inside the enclave.
+	enclaveServe := func(enc *accel.Enclave, cipher *secure.Cipher, p *sim.Proc, req []byte) []byte {
+		resp := make([]byte, vcaPayload)
+		copy(resp, req[:workload.SeqBytes])
+		var out []byte
+		enc.ECall(p, defaultParams().SecureComputeService, func() {
+			if o, err := secure.EnclaveCompute(cipher, req[workload.SeqBytes:vcaPayload]); err == nil {
+				out = o
+			}
+		})
+		copy(resp[workload.SeqBytes:], out)
+		return resp
+	}
+
+	// Lynx path: mqueue in host-mapped memory, polled by the VCA node.
+	lynxRun := func() workload.Result {
+		e := newEnv(cfg)
+		cipher, err := secure.NewCipher(key)
+		if err != nil {
+			panic(err)
+		}
+		vca := e.server.AddVCA("vca0")
+		enc := vca.NewEnclave()
+		rt := core.NewRuntime(e.bf.Platform(7))
+		h, err := rt.Register(vca, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: vcaPayload + 16}, 1)
+		if err != nil {
+			panic(err)
+		}
+		svc, err := rt.AddService(core.UDP, 7000, nil, 1, h)
+		if err != nil {
+			panic(err)
+		}
+		aq := h.AccelQueues()[0]
+		e.tb.Sim.Spawn("vca-node0", func(p *sim.Proc) {
+			for {
+				m := aq.Recv(p)
+				if len(m.Payload) < vcaPayload {
+					continue
+				}
+				resp := enclaveServe(enc, cipher, p, m.Payload)
+				if aq.Send(p, uint16(m.Slot), resp) != nil {
+					return
+				}
+			}
+		})
+		rt.Start()
+		return e.measure(workload.Config{
+			Proto: workload.UDP, Target: svc.Addr(), Payload: vcaPayload,
+			Body: mkBody(cipher), Clients: 1, RatePerSec: 1000, Poisson: true,
+			Duration: window, Warmup: window / 5,
+		})
+	}
+
+	// Baseline: the Intel-preferred host network bridge into the VCA node's
+	// native Linux stack (§6.2: "a host-based network bridge").
+	baselineRun := func() workload.Result {
+		e := newEnv(cfg)
+		cipher, err := secure.NewCipher(key)
+		if err != nil {
+			panic(err)
+		}
+		vca := e.server.AddVCA("vca0")
+		enc := vca.NewEnclave()
+		sock := e.server.NetHost.MustUDPBind(7000)
+		// One server context per VCA node (three E3 processors, §5.4).
+		for node := 0; node < vca.Nodes(); node++ {
+			e.tb.Sim.Spawn(fmt.Sprintf("vca-bridge-server/%d", node), func(p *sim.Proc) {
+				for {
+					dg := sock.Recv(p)
+					// Host bridge + IP-over-PCIe tunnel + VCA kernel
+					// stack, each way.
+					p.Sleep(e.params.VCABridgeKernelPath)
+					if len(dg.Payload) < vcaPayload {
+						continue
+					}
+					resp := enclaveServe(enc, cipher, p, dg.Payload)
+					p.Sleep(e.params.VCABridgeKernelPath)
+					sock.SendTo(dg.From, resp)
+				}
+			})
+		}
+		return e.measure(workload.Config{
+			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: vcaPayload,
+			Body: mkBody(cipher), Clients: 1, RatePerSec: 1000, Poisson: true,
+			Duration: window, Warmup: window / 5,
+		})
+	}
+
+	lynx := lynxRun()
+	base := baselineRun()
+	r := &Report{
+		ID:      "sec62-vca",
+		Title:   "SGX secure multiply on Intel VCA at 1K req/s (§6.2)",
+		Columns: []string{"p90", "p99", "req/s", "paper p90"},
+	}
+	r.AddRow("Lynx (mqueue into mapped memory)", lynx.Hist.P90(), lynx.Hist.P99(), lynx.Throughput(), "56µs")
+	r.AddRow("native bridge baseline", base.Hist.P90(), base.Hist.P99(), base.Throughput(), "~240µs (4.3x)")
+	r.AddRow("baseline/Lynx p90", fmtFloat(speedup(float64(base.Hist.P90()), float64(lynx.Hist.P90())))+"x", "", "", "4.3x")
+	r.Note("AES-GCM runs for real inside the simulated enclave; SGX transitions cost %v each", defaultParams().SGXTransition)
+	return r
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/core"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/sim"
+	"lynx/internal/workload"
+)
+
+func init() {
+	register("ext-integrated-nic", "extension: accelerator with integrated NIC — self-hosted stack vs Lynx (§4.5)", extIntegratedNIC)
+}
+
+// extIntegratedNIC reproduces the §4.5 discussion: an accelerator with an
+// integrated NIC (Goya-style) can either run its own TCP stack on its scarce
+// scalar cores — "resource-demanding and inefficient" — or let a shared
+// Lynx SNIC terminate TCP and feed it through mqueues like any remote
+// accelerator. The accelerator has 16 compute units at 100 µs/request; the
+// self-hosted variant burns two wimpy scalar cores on TCP processing.
+func extIntegratedNIC(cfg Config) *Report {
+	window := cfg.window(30 * time.Millisecond)
+	const units = 16
+	const service = 100 * time.Microsecond
+
+	// Self-hosted: the accelerator's own 2-core scalar complex runs the
+	// TCP stack; compute units do the application work.
+	selfHosted := func() workload.Result {
+		e := newEnv(cfg)
+		accMachine := e.tb.NewMachine("goya1", 6)
+		// The accelerator's scalar complex: two wimpy (ARM-class) cores.
+		scalar := sim.NewResource(e.tb.Sim, 2)
+		tcpCost := model.ScaleCPU(e.params.TCPCost(model.XeonCore, false), model.ARMCore)
+		computeUnits := sim.NewResource(e.tb.Sim, units)
+		l := accMachine.NetHost.MustTCPListen(7000)
+		e.tb.Sim.Spawn("goya-accept", func(p *sim.Proc) {
+			for {
+				conn := l.Accept(p)
+				e.tb.Sim.Spawn("goya-conn", func(p *sim.Proc) {
+					for {
+						msg, err := conn.Recv(p)
+						if err != nil {
+							return
+						}
+						scalar.With(p, tcpCost, nil)       // rx stack
+						computeUnits.With(p, service, nil) // the kernel
+						scalar.With(p, tcpCost, nil)       // tx stack
+						if conn.Send(p, msg) != nil {
+							return
+						}
+					}
+				})
+			}
+		})
+		return e.measure(workload.Config{
+			Proto: workload.TCP, Target: accMachine.NetHost.Addr(7000), Payload: 64,
+			Clients: 3 * units, Duration: window, Warmup: window / 5,
+			Timeout: 200 * time.Millisecond,
+		})
+	}()
+
+	// Lynx-managed: the SNIC terminates TCP; the accelerator behaves like a
+	// remote accelerator reached through its integrated RDMA NIC (§4.5:
+	// "in a way similar to how it manages remote accelerators").
+	lynxManaged := func() workload.Result {
+		e := newEnv(cfg)
+		accHost := e.tb.NewMachine("goya1", 6)
+		acc := accHost.AddGPU("goya-accel", accel.K40m, false, "server1")
+		rt := core.NewRuntime(e.bf.Platform(7))
+		h, err := rt.Register(acc, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}, units)
+		if err != nil {
+			panic(err)
+		}
+		svc, err := rt.AddService(core.TCP, 7000, nil, units, h)
+		if err != nil {
+			panic(err)
+		}
+		qs := h.AccelQueues()
+		if err := acc.LaunchPersistent(e.tb.Sim, units, func(tb *accel.TB) {
+			aq := qs[tb.Index()]
+			for {
+				m := aq.Recv(tb.Proc())
+				tb.Compute(service)
+				if aq.Send(tb.Proc(), uint16(m.Slot), m.Payload) != nil {
+					return
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+		rt.Start()
+		return e.measure(workload.Config{
+			Proto: workload.TCP, Target: svc.Addr(), Payload: 64,
+			Clients: 3 * units, Duration: window, Warmup: window / 5,
+			Timeout: 200 * time.Millisecond,
+		})
+	}()
+
+	r := &Report{
+		ID:      "ext-integrated-nic",
+		Title:   "NIC-integrated accelerator: self-hosted TCP stack vs Lynx management (§4.5)",
+		Columns: []string{"req/s", "p99", "compute-unit utilization"},
+	}
+	maxRate := float64(units) * float64(time.Second) / float64(service)
+	r.AddRow("self-hosted TCP stack", selfHosted.Throughput(), selfHosted.Hist.P99(),
+		fmtFloat(100*selfHosted.Throughput()/maxRate)+"%")
+	r.AddRow("Lynx-managed (remote mqueues)", lynxManaged.Throughput(), lynxManaged.Hist.P99(),
+		fmtFloat(100*lynxManaged.Throughput()/maxRate)+"%")
+	r.AddRow("Lynx advantage", speedup(lynxManaged.Throughput(), selfHosted.Throughput()), "", "")
+	r.Note("§4.5: running TCP on the accelerator's scalar cores starves its compute; Lynx offloads the")
+	r.Note("stack to the shared SNIC and reaches the device like a remote accelerator")
+	return r
+}
+
+func init() {
+	register("ext-innova-duplex", "extension: Innova send path (full-duplex FPGA echo, §5.2 future work)", extInnovaDuplex)
+}
+
+// extInnovaDuplex measures a complete echo service through the Innova FPGA —
+// receive AND send path in AFU logic — against the same service on
+// BlueField. The paper's prototype stopped at the receive path (7.4M pkt/s);
+// this quantifies the §6.2 claim that "the more specialized the SNIC
+// architecture, the higher its performance potential" end to end.
+func extInnovaDuplex(cfg Config) *Report {
+	window := cfg.window(8 * time.Millisecond)
+	const nq = 240
+	innova := func() float64 {
+		e := newEnv(cfg)
+		in := e.server.AttachInnova("innova1")
+		qs, err := in.ServeUDPFullDuplex(7000, e.gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nq)
+		if err != nil {
+			panic(err)
+		}
+		if err := e.gpu.LaunchPersistent(e.tb.Sim, nq, func(tb *accel.TB) {
+			aq := qs[tb.Index()]
+			for {
+				m := aq.Recv(tb.Proc())
+				if aq.Send(tb.Proc(), uint16(m.Slot), m.Payload) != nil {
+					return
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+		g := workload.New(e.tb.Sim, workload.Config{
+			Proto: workload.UDP, Target: in.NetHost.Addr(7000), Payload: 64,
+			Clients: 8, RatePerSec: 5e6, Duration: window, Warmup: window / 4,
+		}, e.clients...)
+		g.Run()
+		var atWarmup uint64
+		e.tb.Sim.After(window/4, func() { atWarmup = in.Sent() })
+		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
+		sent := in.Sent()
+		e.tb.Sim.Shutdown()
+		return float64(sent-atWarmup) / window.Seconds()
+	}()
+	bluefield := func() float64 {
+		e := newEnv(cfg)
+		target, rt := e.echoDeployment(e.bf.Platform(7), nq, 0, 128)
+		g := workload.New(e.tb.Sim, workload.Config{
+			Proto: workload.UDP, Target: target, Payload: 64,
+			Clients: 8, RatePerSec: 1e6, Duration: window, Warmup: window / 4,
+		}, e.clients...)
+		g.Run()
+		var atWarmup uint64
+		e.tb.Sim.After(window/4, func() { _, atWarmup, _ = rt.Stats() })
+		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
+		_, responded, _ := rt.Stats()
+		e.tb.Sim.Shutdown()
+		return float64(responded-atWarmup) / window.Seconds()
+	}()
+	r := &Report{
+		ID:      "ext-innova-duplex",
+		Title:   "Full-duplex echo through the FPGA AFU vs BlueField (extension of §5.2/§6.2)",
+		Columns: []string{"echo/s"},
+	}
+	r.AddRow("Innova full duplex (AFU rx+tx)", innova)
+	r.AddRow("Lynx on BlueField", bluefield)
+	r.AddRow("specialization advantage", speedup(innova, bluefield))
+	r.Note("the paper measured the FPGA receive path only (7.4M pkt/s); this implements the send path")
+	r.Note("and shows the specialized pipeline sustaining Mpps full echoes where ARM cores top out ~0.3M")
+	return r
+}

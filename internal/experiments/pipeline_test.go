@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestExtPipeline(t *testing.T) {
+	r := runExp(t, "ext-pipeline", 0.5)
+	fmt.Println(r)
+	adv := cellValue(t, r, "pipeline advantage", "req/s")
+	if adv <= 1.0 {
+		t.Fatalf("pipeline advantage %vx, must beat client bouncing", adv)
+	}
+}
+
+func TestExtIntegratedNIC(t *testing.T) {
+	r := runExp(t, "ext-integrated-nic", 0.4)
+	adv := cellValue(t, r, "Lynx advantage", "req/s")
+	if adv < 1.5 {
+		t.Fatalf("Lynx advantage %vx over the self-hosted stack, want >= 1.5x", adv)
+	}
+}
+
+func TestExtLatencyCurve(t *testing.T) {
+	r := runExp(t, "ext-latency-curve", 0.3)
+	if len(r.Rows) < 5 {
+		t.Fatalf("latency curve has %d points", len(r.Rows))
+	}
+	// At low load Lynx must sit near the Fig. 8a floor and below the
+	// host-centric baseline.
+	ly := cellValue(t, r, "1.0K req/s", "Lynx p50")
+	hc := cellValue(t, r, "1.0K req/s", "host-centric p50")
+	if ly >= hc {
+		t.Fatalf("Lynx p50 %vµs must beat host-centric %vµs", ly, hc)
+	}
+}
+
+func TestExtInnovaDuplex(t *testing.T) {
+	r := runExp(t, "ext-innova-duplex", 0.3)
+	adv := cellValue(t, r, "specialization advantage", "echo/s")
+	if adv < 2 {
+		t.Fatalf("FPGA advantage %vx over BlueField, want >= 2x", adv)
+	}
+}

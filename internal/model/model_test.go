@@ -1,0 +1,115 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpeedFactors(t *testing.T) {
+	if XeonCore.SpeedFactor() != 1.0 {
+		t.Fatal("Xeon must be the calibration baseline")
+	}
+	if ARMCore.SpeedFactor() <= 1.0 {
+		t.Fatal("ARM A72 @800MHz must be slower than Xeon")
+	}
+	// §6.2: 4 Xeon cores ≈ 7 ARM cores on Lynx dispatch.
+	ratio := ARMCore.SpeedFactor()
+	if ratio < 1.5 || ratio > 2.0 {
+		t.Fatalf("ARM/Xeon ratio %v outside the 7/4 calibration band", ratio)
+	}
+}
+
+func TestCPUKindString(t *testing.T) {
+	for k, want := range map[CPUKind]string{XeonCore: "Xeon", ARMCore: "ARM-A72", E3Core: "E3", CPUKind(99): "unknown-cpu"} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestVMAGapMatchesPaper(t *testing.T) {
+	p := Default()
+	// §5.1.1: VMA reduces UDP processing latency by 4x on BlueField and 2x
+	// on the host.
+	hostGap := float64(p.UDPCost(XeonCore, false)) / float64(p.UDPCost(XeonCore, true))
+	bfGap := float64(p.UDPCost(ARMCore, false)) / float64(p.UDPCost(ARMCore, true))
+	if hostGap < 1.8 || hostGap > 2.2 {
+		t.Errorf("host kernel/VMA gap = %.2f, paper says ~2x", hostGap)
+	}
+	if bfGap < 3.5 || bfGap > 4.5 {
+		t.Errorf("BlueField kernel/VMA gap = %.2f, paper says ~4x", bfGap)
+	}
+}
+
+func TestTCPHeavierThanUDP(t *testing.T) {
+	p := Default()
+	for _, kind := range []CPUKind{XeonCore, ARMCore} {
+		if p.TCPCost(kind, true) <= p.UDPCost(kind, true) {
+			t.Errorf("%v: TCP must cost more than UDP", kind)
+		}
+	}
+	// Fig. 8c: UDP/TCP GPU-scaling ratio ≈ 102/15 on BlueField: the VMA TCP
+	// multiplier carries most of that.
+	if p.TCPMultVMA < 4 {
+		t.Error("TCP multiplier too small to reproduce Fig. 8c crossover")
+	}
+}
+
+func TestGPUManagementOverheadMatchesSec32(t *testing.T) {
+	p := Default()
+	// §3.2: echo pipeline = H2D copy + launch + D2H copy + sync ≈ 30 µs of
+	// management overhead.
+	overhead := 2*p.CudaMemcpyAsyncSetup + p.KernelLaunch + p.StreamSync
+	if overhead < 25*time.Microsecond || overhead > 35*time.Microsecond {
+		t.Fatalf("GPU management overhead %v, paper measures ~30 µs", overhead)
+	}
+}
+
+func TestLeNetTheoreticalMax(t *testing.T) {
+	p := Default()
+	// §6.3: theoretical max on one K40m is 3.6 K req/s.
+	rate := float64(time.Second) / float64(p.LeNetServiceK40+p.DynamicParallelismLaunch)
+	if rate < 3400 || rate > 3800 {
+		t.Fatalf("LeNet K40 max %v req/s, want ~3600", rate)
+	}
+	// §6.3: K80 achieves at most 3300 req/s.
+	rate80 := float64(time.Second) / float64(p.LeNetServiceK80+p.DynamicParallelismLaunch)
+	if rate80 < 3100 || rate80 > 3500 {
+		t.Fatalf("LeNet K80 max %v req/s, want ~3300", rate80)
+	}
+}
+
+func TestInnovaRate(t *testing.T) {
+	p := Default()
+	rate := float64(time.Second) / float64(p.InnovaPipeline)
+	if rate < 7.0e6 || rate > 7.8e6 {
+		t.Fatalf("Innova pipeline %v pkt/s, paper: 7.4M", rate)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if TransferTime(0, 1e9) != 0 || TransferTime(100, 0) != 0 {
+		t.Fatal("degenerate transfers must be free")
+	}
+	// 1250 bytes at 10 Gb/s = 1 µs.
+	if got := TransferTime(1250, 10e9); got != time.Microsecond {
+		t.Fatalf("TransferTime = %v, want 1µs", got)
+	}
+}
+
+func TestScaleCPU(t *testing.T) {
+	if ScaleCPU(time.Microsecond, XeonCore) != time.Microsecond {
+		t.Fatal("Xeon scale must be identity")
+	}
+	if ScaleCPU(time.Microsecond, ARMCore) != 1750*time.Nanosecond {
+		t.Fatalf("ARM scale = %v", ScaleCPU(time.Microsecond, ARMCore))
+	}
+}
+
+func TestDefaultIsACopy(t *testing.T) {
+	a := Default()
+	a.KernelLaunch = time.Hour
+	if Default().KernelLaunch == time.Hour {
+		t.Fatal("Default must return an independent copy")
+	}
+}

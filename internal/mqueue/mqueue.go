@@ -1,0 +1,602 @@
+// Package mqueue implements the paper's central abstraction: message queues
+// (mqueues) for passing messages between the SmartNIC and accelerators
+// (§4.2).
+//
+// An mqueue is a pair of producer-consumer ring buffers — receive (RX) and
+// transmit (TX) — living in *accelerator-local* memory, with per-slot
+// notification (doorbell) registers and a small queue header of
+// producer/consumer counters. The accelerator touches the rings with plain
+// local memory accesses (the entire accelerator-side I/O library is a thin
+// wrapper, ~20 LoC in the paper's SGX port); the SmartNIC accesses them
+// remotely with one-sided RDMA through the Remote Message Queue Manager.
+//
+// Following §5.1 ("One RC QP per accelerator"), all mqueues of one
+// accelerator share one RDMA queue pair and one memory region, with the
+// per-queue headers packed contiguously so the SNIC refreshes the state of
+// every queue in a single RDMA READ per polling sweep (Group.Refresh). This
+// batching is what lets a small SNIC drive hundreds of mqueues.
+//
+// Two further properties of the paper's design are modelled explicitly:
+//
+//   - Metadata/data coalescing (§5.1): the per-message control metadata
+//     (size, error status, notification register) is carried in the same
+//     RDMA WRITE as the payload, so delivering a message costs one
+//     transaction. Valid only when the write-barrier workaround is off.
+//   - The RDMA-read write barrier (§5.1): when the accelerator's memory has
+//     relaxed DMA ordering, each message instead costs three transactions
+//     (payload write, barrier read, doorbell write), adding ~5 µs/message.
+package mqueue
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lynx/internal/memdev"
+	"lynx/internal/rdma"
+	"lynx/internal/sim"
+)
+
+// Kind distinguishes the two mqueue flavours of §4.3.
+type Kind int
+
+const (
+	// ServerQueue is bound to a listening port; responses return to the
+	// client a request arrived from (connection-less, UDP-socket-like).
+	ServerQueue Kind = iota
+	// ClientQueue sends to one statically configured destination and
+	// receives its responses (for back-end services like memcached, §6.4).
+	ClientQueue
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == ClientQueue {
+		return "client"
+	}
+	return "server"
+}
+
+// Slot layout. The paper's metadata is 4 bytes (size, error, doorbell); we
+// carry 2 further bytes of correlation index so that server-queue responses
+// can name the request slot they answer — the paper folds this into its slot
+// addressing, we keep it explicit.
+const (
+	offDoorbell = 0 // 1 byte: 0 free, 1 full
+	offError    = 1 // 1 byte: connection error status from the SNIC (§5.1)
+	offSize     = 2 // 2 bytes little-endian payload size
+	offCorr     = 4 // 2 bytes little-endian correlation (request slot index)
+	HeaderBytes = 6
+)
+
+// Per-queue header: three 8-byte little-endian counters.
+const (
+	hdrRxConsumed = 0  // written by the accelerator: RX messages consumed
+	hdrTxSent     = 8  // written by the accelerator: TX messages produced
+	hdrTxConsumed = 16 // written by the SNIC (RDMA): TX messages drained
+	// QueueHeaderBytes is the header footprint (padded to 32).
+	QueueHeaderBytes = 32
+)
+
+// Config shapes one mqueue.
+type Config struct {
+	Kind     Kind
+	Slots    int // ring entries per direction
+	SlotSize int // bytes per entry including HeaderBytes
+	// Barrier enables the §5.1 RDMA-read write barrier before each
+	// doorbell (required for correctness on relaxed-ordering memory,
+	// disabled in the paper's evaluation and by default here).
+	Barrier bool
+	// NoCoalesce disables metadata/data coalescing (ablation): payload and
+	// doorbell go in separate RDMA writes.
+	NoCoalesce bool
+}
+
+func (c *Config) validate() error {
+	if c.Slots <= 0 || c.SlotSize <= HeaderBytes {
+		return fmt.Errorf("mqueue: invalid geometry slots=%d slotSize=%d", c.Slots, c.SlotSize)
+	}
+	return nil
+}
+
+// RingBytes is the rings-only footprint of one queue (without its header).
+func (c Config) RingBytes() int { return 2 * c.Slots * c.SlotSize }
+
+// Footprint returns the bytes of accelerator memory one standalone mqueue
+// occupies (header + rings).
+func (c Config) Footprint() int { return QueueHeaderBytes + c.RingBytes() }
+
+// MaxPayload returns the largest payload one slot carries.
+func (c Config) MaxPayload() int { return c.SlotSize - HeaderBytes }
+
+// GroupFootprint returns the region bytes n grouped queues occupy: a packed
+// header block followed by the rings.
+func GroupFootprint(c Config, n int) int {
+	return n*QueueHeaderBytes + n*c.RingBytes()
+}
+
+// ErrQueueFull reports RX ring exhaustion (accelerator not keeping up).
+var ErrQueueFull = errors.New("mqueue: RX ring full")
+
+// layout pins one queue's pieces within the shared region.
+type layout struct {
+	hdr  int // queue header offset
+	ring int // rings offset (RX then TX)
+}
+
+func (l layout) rxSlot(c Config, slot int) int { return l.ring + slot*c.SlotSize }
+func (l layout) txSlot(c Config, slot int) int { return l.ring + (c.Slots+slot)*c.SlotSize }
+
+// ---------------------------------------------------------------------------
+// SNIC side
+
+// Queue is the SmartNIC-side handle of one mqueue, operated through a QP by
+// the Remote Message Queue Manager. All methods must be called from SNIC
+// processes.
+type Queue struct {
+	cfg    Config
+	region *memdev.Region
+	lay    layout
+	qp     *rdma.QP
+
+	rxHead     uint64 // next RX sequence to fill
+	rxConsumed uint64 // accelerator's consumed-RX counter (cached)
+	txSeen     uint64 // accelerator's sent-TX counter (cached)
+	txTail     uint64 // TX messages we have drained
+	txDirty    bool   // txConsumed needs publishing to the accelerator
+
+	pushed, polled, full uint64
+}
+
+// New creates the SNIC-side view of a standalone mqueue at base within
+// region, reached through qp.
+func New(region *memdev.Region, base int, cfg Config, qp *rdma.QP) (*Queue, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if base+cfg.Footprint() > region.Size() {
+		return nil, fmt.Errorf("mqueue: footprint %d at base %d exceeds region %d",
+			cfg.Footprint(), base, region.Size())
+	}
+	return &Queue{cfg: cfg, region: region, qp: qp,
+		lay: layout{hdr: base, ring: base + QueueHeaderBytes}}, nil
+}
+
+// Config returns the queue geometry.
+func (q *Queue) Config() Config { return q.cfg }
+
+// buildSlot assembles header+payload for one slot write.
+func buildSlot(payload []byte, errStatus byte, corr uint16, doorbell byte) []byte {
+	buf := make([]byte, HeaderBytes+len(payload))
+	buf[offDoorbell] = doorbell
+	buf[offError] = errStatus
+	buf[offSize] = byte(len(payload))
+	buf[offSize+1] = byte(len(payload) >> 8)
+	buf[offCorr] = byte(corr)
+	buf[offCorr+1] = byte(corr >> 8)
+	copy(buf[HeaderBytes:], payload)
+	return buf
+}
+
+// Push delivers one message into the accelerator's RX ring, returning the
+// slot used. It fails with ErrQueueFull when the ring has no free slot
+// (after refreshing the accelerator's counters once via RDMA).
+func (q *Queue) Push(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
+	if len(payload) > q.cfg.MaxPayload() {
+		return 0, fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), q.cfg.MaxPayload())
+	}
+	if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+		q.Refresh(p)
+		if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+			q.full++
+			return 0, ErrQueueFull
+		}
+	}
+	// Reserve the slot before the (blocking) RDMA write: several dispatcher
+	// contexts may push into the same queue concurrently, and the slot
+	// assignment must not be computed from a stale head after a yield.
+	slot := int(q.rxHead % uint64(q.cfg.Slots))
+	q.rxHead++
+	off := q.lay.rxSlot(q.cfg, slot)
+	switch {
+	case q.cfg.Barrier:
+		// Three transactions: payload+metadata (excluding the doorbell
+		// byte, which only the doorbell write may touch), barrier,
+		// doorbell.
+		buf := buildSlot(payload, errStatus, 0, 0)
+		q.qp.Write(p, q.region, off+offError, buf[offError:])
+		q.qp.Barrier(p, q.region)
+		q.qp.Write(p, q.region, off+offDoorbell, []byte{1})
+	case q.cfg.NoCoalesce:
+		// Two transactions: payload+metadata, then doorbell. Without a
+		// barrier these may become visible out of order on relaxed
+		// memory — the §5.1 hazard.
+		buf := buildSlot(payload, errStatus, 0, 0)
+		q.qp.Write(p, q.region, off+offError, buf[offError:])
+		q.qp.Write(p, q.region, off+offDoorbell, []byte{1})
+	default:
+		// One coalesced transaction; NIC DMA commits lower addresses
+		// first, so a single write carrying data and notification is
+		// safe on strongly ordered regions (§5.1).
+		buf := buildSlot(payload, errStatus, 0, 1)
+		q.qp.Write(p, q.region, off, buf)
+	}
+	q.pushed++
+	return slot, nil
+}
+
+// PushAsync delivers one message like Push but does not wait for the RDMA
+// write to complete — the posting context moves on immediately (hardware
+// pipelines like the Innova AFU, §5.2). Only valid in the default coalesced
+// mode. Flow control uses cached counters; callers should Refresh
+// periodically.
+func (q *Queue) PushAsync(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
+	if q.cfg.Barrier || q.cfg.NoCoalesce {
+		return 0, fmt.Errorf("mqueue: PushAsync requires coalesced mode")
+	}
+	if len(payload) > q.cfg.MaxPayload() {
+		return 0, fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), q.cfg.MaxPayload())
+	}
+	if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+		q.full++
+		return 0, ErrQueueFull
+	}
+	slot := int(q.rxHead % uint64(q.cfg.Slots))
+	q.rxHead++
+	off := q.lay.rxSlot(q.cfg, slot)
+	q.qp.Post(p, rdma.WR{Op: rdma.OpWrite, Region: q.region, Offset: off,
+		Data: buildSlot(payload, errStatus, 0, 1)})
+	q.pushed++
+	return slot, nil
+}
+
+// Refresh re-reads this queue's header counters with one RDMA READ.
+func (q *Queue) Refresh(p *sim.Proc) {
+	raw := q.qp.Read(p, q.region, q.lay.hdr, 16)
+	q.absorbHeader(raw)
+}
+
+// absorbHeader ingests the accelerator-written half of a header block.
+func (q *Queue) absorbHeader(raw []byte) {
+	q.rxConsumed = leUint64(raw[hdrRxConsumed:])
+	q.txSeen = leUint64(raw[hdrTxSent:])
+}
+
+// Ready reports whether, per the cached counters, the TX ring has messages.
+func (q *Queue) Ready() bool { return q.txSeen > q.txTail }
+
+// TxMsg is one message drained from the accelerator's TX ring.
+type TxMsg struct {
+	Payload []byte
+	Err     byte
+	Corr    uint16 // RX slot index this responds to (server queues)
+	Slot    int
+}
+
+// PopTx drains the next TX message (one full-slot RDMA READ). The caller
+// must have observed Ready(); it must eventually call CommitTx so the
+// accelerator sees the slots freed.
+func (q *Queue) PopTx(p *sim.Proc) (TxMsg, bool) {
+	if !q.Ready() {
+		return TxMsg{}, false
+	}
+	slot := int(q.txTail % uint64(q.cfg.Slots))
+	off := q.lay.txSlot(q.cfg, slot)
+	raw := q.qp.Read(p, q.region, off, q.cfg.SlotSize)
+	if raw[offDoorbell] == 0 {
+		// Counter said ready but the slot write is not visible — cannot
+		// happen with local accelerator stores (strong ordering), kept as
+		// a guard.
+		return TxMsg{}, false
+	}
+	size := int(raw[offSize]) | int(raw[offSize+1])<<8
+	corr := uint16(raw[offCorr]) | uint16(raw[offCorr+1])<<8
+	if size > q.cfg.MaxPayload() {
+		size = q.cfg.MaxPayload()
+	}
+	payload := make([]byte, size)
+	copy(payload, raw[HeaderBytes:HeaderBytes+size])
+	q.txTail++
+	q.txDirty = true
+	q.polled++
+	return TxMsg{Payload: payload, Err: raw[offError], Corr: corr, Slot: slot}, true
+}
+
+// CommitTx publishes the drained-TX counter to the accelerator (one RDMA
+// WRITE), releasing the slots for reuse. No-op when nothing was drained
+// since the last commit.
+func (q *Queue) CommitTx(p *sim.Proc) {
+	if !q.txDirty {
+		return
+	}
+	var buf [8]byte
+	putLeUint64(buf[:], q.txTail)
+	q.qp.Write(p, q.region, q.lay.hdr+hdrTxConsumed, buf[:])
+	q.txDirty = false
+}
+
+// Poll is the standalone-queue convenience: refresh if idle, drain one
+// message, commit. Grouped deployments use Refresh/PopTx/CommitTx directly
+// for batching.
+func (q *Queue) Poll(p *sim.Proc) (TxMsg, bool) {
+	if !q.Ready() {
+		q.Refresh(p)
+	}
+	msg, ok := q.PopTx(p)
+	if ok {
+		q.CommitTx(p)
+	}
+	return msg, ok
+}
+
+// InFlight reports RX messages pushed but not yet known consumed.
+func (q *Queue) InFlight() int { return int(q.rxHead - q.rxConsumed) }
+
+// Stats reports pushes, TX messages drained, and RX-full events.
+func (q *Queue) Stats() (pushed, polled, full uint64) { return q.pushed, q.polled, q.full }
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putLeUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Groups (one RC QP / one region per accelerator, §5.1)
+
+// Group is the SNIC-side view of all mqueues of one accelerator: a packed
+// header block plus per-queue rings, all reached through one shared QP.
+type Group struct {
+	cfg    Config
+	region *memdev.Region
+	base   int
+	qp     *rdma.QP
+	queues []*Queue
+
+	refreshes uint64
+	activity  *sim.Gate
+}
+
+// NewGroup lays out n queues at base within region.
+func NewGroup(region *memdev.Region, base int, cfg Config, n int, qp *rdma.QP) (*Group, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("mqueue: group needs at least one queue")
+	}
+	if base+GroupFootprint(cfg, n) > region.Size() {
+		return nil, fmt.Errorf("mqueue: group footprint %d at base %d exceeds region %d",
+			GroupFootprint(cfg, n), base, region.Size())
+	}
+	g := &Group{cfg: cfg, region: region, base: base, qp: qp}
+	ringBase := base + n*QueueHeaderBytes
+	for i := 0; i < n; i++ {
+		g.queues = append(g.queues, &Queue{
+			cfg: cfg, region: region, qp: qp,
+			lay: layout{hdr: base + i*QueueHeaderBytes, ring: ringBase + i*cfg.RingBytes()},
+		})
+	}
+	return g, nil
+}
+
+// Len reports the number of queues.
+func (g *Group) Len() int { return len(g.queues) }
+
+// Queue returns queue i.
+func (g *Group) Queue(i int) *Queue { return g.queues[i] }
+
+// Refresh reads the whole header block in one RDMA READ and updates every
+// queue's cached counters — the batching that makes polling hundreds of
+// mqueues affordable.
+func (g *Group) Refresh(p *sim.Proc) {
+	raw := g.qp.Read(p, g.region, g.base, len(g.queues)*QueueHeaderBytes)
+	for i, q := range g.queues {
+		q.absorbHeader(raw[i*QueueHeaderBytes:])
+	}
+	g.refreshes++
+}
+
+// Refreshes reports header-block reads performed.
+func (g *Group) Refreshes() uint64 { return g.refreshes }
+
+// ActivityGate returns a gate fired whenever the accelerator writes any
+// queue header of the group (publishing new TX messages or RX consumption).
+// The Remote MQ Manager blocks on it between polling sweeps instead of
+// spinning, then charges its polling interval on wake-up.
+func (g *Group) ActivityGate() *sim.Gate {
+	if g.activity == nil {
+		g.activity = g.region.Watch(g.base, len(g.queues)*QueueHeaderBytes)
+	}
+	return g.activity
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator side
+
+// AccessProfile captures how expensive the accelerator's own accesses to
+// mqueue memory are: device-local for GPUs (§4.2: "the latency of enqueuing
+// ... is exactly the latency of accelerator local memory access"), mapped
+// host memory for the VCA workaround (§5.4).
+type AccessProfile struct {
+	// LocalAccess is the cost of one ring access (header or payload).
+	LocalAccess time.Duration
+	// PollInterval is the doorbell polling period while idle.
+	PollInterval time.Duration
+}
+
+// AccelQueue is the accelerator-side handle: the lightweight I/O layer that
+// replaces a full network stack on the accelerator (§4.3).
+type AccelQueue struct {
+	cfg    Config
+	region *memdev.Region
+	lay    layout
+	prof   AccessProfile
+
+	rxTail uint64
+	txHead uint64
+
+	// rxGate fires when anything lands in the RX ring; txFreeGate fires
+	// when the SNIC publishes TX consumption. They let the simulator block
+	// the polling loops instead of executing every poll iteration; the
+	// modelled polling latency is re-added on wake-up.
+	rxGate     *sim.Gate
+	txFreeGate *sim.Gate
+
+	received, sent, errs uint64
+}
+
+func (aq *AccelQueue) initGates() {
+	aq.rxGate = aq.region.Watch(aq.lay.rxSlot(aq.cfg, 0), aq.cfg.Slots*aq.cfg.SlotSize)
+	aq.txFreeGate = aq.region.Watch(aq.lay.hdr+hdrTxConsumed, 8)
+}
+
+// Attach creates the accelerator-side view of a standalone mqueue at base.
+func Attach(region *memdev.Region, base int, cfg Config, prof AccessProfile) (*AccelQueue, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if base+cfg.Footprint() > region.Size() {
+		return nil, fmt.Errorf("mqueue: footprint exceeds region")
+	}
+	aq := &AccelQueue{cfg: cfg, region: region, prof: prof,
+		lay: layout{hdr: base, ring: base + QueueHeaderBytes}}
+	aq.initGates()
+	return aq, nil
+}
+
+// AttachGroup creates the accelerator-side views of a queue group laid out
+// by NewGroup.
+func AttachGroup(region *memdev.Region, base int, cfg Config, n int, prof AccessProfile) ([]*AccelQueue, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if base+GroupFootprint(cfg, n) > region.Size() {
+		return nil, fmt.Errorf("mqueue: group footprint exceeds region")
+	}
+	ringBase := base + n*QueueHeaderBytes
+	out := make([]*AccelQueue, n)
+	for i := range out {
+		out[i] = &AccelQueue{cfg: cfg, region: region, prof: prof,
+			lay: layout{hdr: base + i*QueueHeaderBytes, ring: ringBase + i*cfg.RingBytes()}}
+		out[i].initGates()
+	}
+	return out, nil
+}
+
+// Msg is one received message.
+type Msg struct {
+	Payload []byte
+	Err     byte // non-zero: SNIC-reported connection error (§5.1 metadata)
+	Slot    int  // RX slot index, echoed as Corr when responding
+}
+
+// TryRecv performs one poll of the next RX slot. It charges one local
+// access; if a message is present it consumes it (two further accesses:
+// payload read and doorbell clear + consumed-counter update).
+func (aq *AccelQueue) TryRecv(p *sim.Proc) (Msg, bool) {
+	slot := int(aq.rxTail % uint64(aq.cfg.Slots))
+	off := aq.lay.rxSlot(aq.cfg, slot)
+	p.Sleep(aq.prof.LocalAccess)
+	if aq.region.Byte(off+offDoorbell) == 0 {
+		return Msg{}, false
+	}
+	p.Sleep(aq.prof.LocalAccess)
+	hdr := aq.region.ReadLocal(off, HeaderBytes)
+	size := int(hdr[offSize]) | int(hdr[offSize+1])<<8
+	payload := aq.region.ReadLocal(off+HeaderBytes, size)
+	// Clear doorbell and publish consumption.
+	p.Sleep(aq.prof.LocalAccess)
+	aq.region.WriteLocal(off+offDoorbell, []byte{0})
+	aq.rxTail++
+	var cnt [8]byte
+	putLeUint64(cnt[:], aq.rxTail)
+	aq.region.WriteLocal(aq.lay.hdr+hdrRxConsumed, cnt[:])
+	aq.received++
+	if hdr[offError] != 0 {
+		aq.errs++
+	}
+	return Msg{Payload: payload, Err: hdr[offError], Slot: slot}, true
+}
+
+// Recv blocks until a message arrives. Semantically the accelerator polls
+// its doorbell at PollInterval; the simulation blocks on the ring's write
+// gate and re-adds half a polling interval of detection latency.
+func (aq *AccelQueue) Recv(p *sim.Proc) Msg {
+	for {
+		v := aq.rxGate.Version()
+		if m, ok := aq.TryRecv(p); ok {
+			return m
+		}
+		aq.rxGate.Wait(p, v)
+		p.Sleep(aq.prof.PollInterval / 2)
+	}
+}
+
+// RecvTimeout polls until a message arrives or the deadline passes.
+func (aq *AccelQueue) RecvTimeout(p *sim.Proc, d time.Duration) (Msg, bool) {
+	deadline := p.Now().Add(d)
+	for {
+		v := aq.rxGate.Version()
+		if m, ok := aq.TryRecv(p); ok {
+			return m, true
+		}
+		if p.Now() >= deadline {
+			return Msg{}, false
+		}
+		if !aq.rxGate.WaitTimeout(p, v, deadline.Sub(p.Now())) {
+			return Msg{}, false
+		}
+		p.Sleep(aq.prof.PollInterval / 2)
+	}
+}
+
+// Send writes one message into the TX ring, blocking (by polling the
+// SNIC-written consumed counter) while the ring is full. corr names the RX
+// slot being answered on server queues; pass 0 on client queues.
+func (aq *AccelQueue) Send(p *sim.Proc, corr uint16, payload []byte) error {
+	return aq.SendErr(p, corr, payload, 0)
+}
+
+// SendErr is Send with an explicit error-status byte.
+func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatus byte) error {
+	if len(payload) > aq.cfg.MaxPayload() {
+		return fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), aq.cfg.MaxPayload())
+	}
+	// Wait for the SNIC to have freed this slot (polling the SNIC-written
+	// consumed counter; blocked on its write gate in the simulator).
+	for {
+		v := aq.txFreeGate.Version()
+		p.Sleep(aq.prof.LocalAccess)
+		consumed := leUint64(aq.region.ReadLocal(aq.lay.hdr+hdrTxConsumed, 8))
+		if aq.txHead-consumed < uint64(aq.cfg.Slots) {
+			break
+		}
+		aq.txFreeGate.Wait(p, v)
+		p.Sleep(aq.prof.PollInterval / 2)
+	}
+	slot := int(aq.txHead % uint64(aq.cfg.Slots))
+	off := aq.lay.txSlot(aq.cfg, slot)
+	buf := buildSlot(payload, errStatus, corr, 1)
+	p.Sleep(aq.prof.LocalAccess)
+	aq.region.WriteLocal(off, buf)
+	aq.txHead++
+	var cnt [8]byte
+	putLeUint64(cnt[:], aq.txHead)
+	aq.region.WriteLocal(aq.lay.hdr+hdrTxSent, cnt[:])
+	aq.sent++
+	return nil
+}
+
+// Stats reports received/sent message counts and error-flagged receives.
+func (aq *AccelQueue) Stats() (received, sent, errs uint64) {
+	return aq.received, aq.sent, aq.errs
+}

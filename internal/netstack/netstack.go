@@ -1,0 +1,410 @@
+// Package netstack models the client-facing Ethernet/IP network of the
+// testbed: hosts attached to a single switch (Mellanox SN2100 in the paper)
+// via full-duplex links, carrying UDP datagrams and TCP message streams.
+//
+// The package moves bytes with wire-accurate timing (per-link serialization
+// with contention, propagation, switch latency) and leaves *CPU* protocol
+// processing costs to the caller: the cost of the UDP/TCP stack depends on
+// which core runs it (Xeon vs. ARM, kernel vs. VMA bypass, §5.1.1), so the
+// compute platform charges model.Params.UDPCost/TCPCost where the packet is
+// actually processed.
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lynx/internal/model"
+	"lynx/internal/sim"
+)
+
+// Addr identifies a transport endpoint.
+type Addr struct {
+	Host string
+	Port uint16
+}
+
+// String formats the address host:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.Host, a.Port) }
+
+// Datagram is one received UDP message.
+type Datagram struct {
+	From    Addr
+	To      Addr
+	Payload []byte
+}
+
+const (
+	udpOverhead = 42 // Ethernet + IP + UDP headers
+	tcpOverhead = 54 // Ethernet + IP + TCP headers
+	// MTU is the Ethernet payload limit; larger messages fragment (UDP/IP
+	// fragmentation, TCP segmentation) and pay per-fragment header and
+	// switch costs.
+	MTU = 1500
+	// DefaultRxQueue is the socket receive queue depth; UDP datagrams
+	// arriving at a full queue are dropped, like a real NIC ring.
+	DefaultRxQueue = 4096
+)
+
+// wireSize returns the total on-wire bytes for a payload incl. per-fragment
+// headers, and the fragment count.
+func wireSize(payload, overhead int) (bytes, frags int) {
+	if payload <= 0 {
+		return overhead, 1
+	}
+	frags = (payload + MTU - 1) / MTU
+	return payload + frags*overhead, frags
+}
+
+// Network is a single-switch topology.
+type Network struct {
+	sim       *sim.Sim
+	params    *model.Params
+	hosts     map[string]*Host
+	ephemeral uint16
+}
+
+// New creates an empty network using the wire constants in params.
+func New(s *sim.Sim, p *model.Params) *Network {
+	return &Network{sim: s, params: p, hosts: make(map[string]*Host), ephemeral: 32768}
+}
+
+// link is a simplex link modelled with a next-free-time token.
+type link struct {
+	bandwidth float64
+	freeAt    sim.Time
+}
+
+// reserve books the serialization of size bytes, returning the completion
+// time of the last bit on this link.
+func (l *link) reserve(now sim.Time, size int) sim.Time {
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	l.freeAt = start.Add(model.TransferTime(size, l.bandwidth))
+	return l.freeAt
+}
+
+// Host is a machine (or a multi-homed SmartNIC, §2) on the network.
+type Host struct {
+	net  *Network
+	name string
+	up   link
+	down link
+
+	udp       map[uint16]*UDPSocket
+	listeners map[uint16]*TCPListener
+
+	dropped uint64
+}
+
+// AddHost attaches a new host to the switch.
+func (n *Network) AddHost(name string) *Host {
+	if _, dup := n.hosts[name]; dup {
+		panic(fmt.Sprintf("netstack: duplicate host %q", name))
+	}
+	h := &Host{
+		net:       n,
+		name:      name,
+		up:        link{bandwidth: n.params.WireBandwidth},
+		down:      link{bandwidth: n.params.WireBandwidth},
+		udp:       make(map[uint16]*UDPSocket),
+		listeners: make(map[uint16]*TCPListener),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host looks up a host by name.
+func (n *Network) Host(name string) (*Host, bool) {
+	h, ok := n.hosts[name]
+	return h, ok
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns this host's address for the given port.
+func (h *Host) Addr(port uint16) Addr { return Addr{Host: h.name, Port: port} }
+
+// Dropped reports datagrams discarded at full receive queues.
+func (h *Host) Dropped() uint64 { return h.dropped }
+
+// RTT returns the uncontended round-trip wire time for a payload of the
+// given size between two hosts (used to calibrate handshakes and tests).
+func (n *Network) RTT(size int) time.Duration {
+	bytes, frags := wireSize(size, udpOverhead)
+	ser := model.TransferTime(bytes, n.params.WireBandwidth)
+	oneWay := 2*ser + 2*n.params.WirePropagation + time.Duration(frags)*n.params.SwitchLatency
+	return 2 * oneWay
+}
+
+// transmit schedules delivery of one message of the given payload size from
+// src to dst, contending on src's uplink and dst's downlink. Payloads beyond
+// the MTU fragment: every fragment pays headers and switch processing, and
+// the message arrives when its last fragment does.
+func (n *Network) transmit(src, dst *Host, payload, overhead int, deliver func()) {
+	bytes, frags := wireSize(payload, overhead)
+	now := n.sim.Now()
+	upDone := src.up.reserve(now, bytes)
+	atSwitch := upDone.Add(n.params.WirePropagation + time.Duration(frags)*n.params.SwitchLatency)
+	downDone := dst.down.reserve(atSwitch, bytes)
+	arrival := downDone.Add(n.params.WirePropagation)
+	n.sim.At(arrival, deliver)
+}
+
+// ---------------------------------------------------------------------------
+// UDP
+
+// UDPSocket is a bound UDP endpoint.
+type UDPSocket struct {
+	host *Host
+	port uint16
+	rxq  *sim.Chan[Datagram]
+}
+
+// ErrPortInUse reports a bind conflict.
+var ErrPortInUse = errors.New("netstack: port in use")
+
+// UDPBind binds a UDP socket on the host.
+func (h *Host) UDPBind(port uint16) (*UDPSocket, error) {
+	if _, dup := h.udp[port]; dup {
+		return nil, fmt.Errorf("%w: udp %s:%d", ErrPortInUse, h.name, port)
+	}
+	s := &UDPSocket{host: h, port: port, rxq: sim.NewChan[Datagram](h.net.sim, DefaultRxQueue)}
+	h.udp[port] = s
+	return s, nil
+}
+
+// MustUDPBind binds or panics (initialization convenience).
+func (h *Host) MustUDPBind(port uint16) *UDPSocket {
+	s, err := h.UDPBind(port)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Addr returns the socket's bound address.
+func (s *UDPSocket) Addr() Addr { return s.host.Addr(s.port) }
+
+// SendTo transmits payload to the destination address. Unknown destinations
+// are silently dropped (as on a real network). The payload is copied.
+func (s *UDPSocket) SendTo(to Addr, payload []byte) {
+	dst, ok := s.host.net.hosts[to.Host]
+	if !ok {
+		return
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	dg := Datagram{From: s.Addr(), To: to, Payload: buf}
+	s.host.net.transmit(s.host, dst, len(payload), udpOverhead, func() {
+		sock, ok := dst.udp[to.Port]
+		if !ok {
+			return // port unreachable
+		}
+		if !sock.rxq.TryPut(dg) {
+			dst.dropped++
+		}
+	})
+}
+
+// Recv blocks until a datagram arrives.
+func (s *UDPSocket) Recv(p *sim.Proc) Datagram { return s.rxq.Get(p) }
+
+// RecvTimeout blocks up to d for a datagram.
+func (s *UDPSocket) RecvTimeout(p *sim.Proc, d time.Duration) (Datagram, bool) {
+	return s.rxq.GetTimeout(p, d)
+}
+
+// TryRecv polls for a datagram without blocking.
+func (s *UDPSocket) TryRecv() (Datagram, bool) { return s.rxq.TryGet() }
+
+// Pending reports queued datagrams.
+func (s *UDPSocket) Pending() int { return s.rxq.Len() }
+
+// Close unbinds the socket.
+func (s *UDPSocket) Close() { delete(s.host.udp, s.port) }
+
+// ---------------------------------------------------------------------------
+// TCP
+
+// TCPListener accepts incoming connections on a port.
+type TCPListener struct {
+	host    *Host
+	port    uint16
+	backlog *sim.Chan[*TCPConn]
+}
+
+// TCPConn is one side of an established connection carrying framed messages
+// in order (the simulation does not re-segment: each Send is one app-level
+// message, the unit every experiment in the paper operates on).
+type TCPConn struct {
+	net        *Network
+	local      Addr
+	remote     Addr
+	localHost  *Host
+	remoteHost *Host
+	rxq        *sim.Chan[[]byte]
+	peer       *TCPConn
+	closed     bool
+	reset      bool
+}
+
+// ErrConnClosed is returned by Recv after the peer closes.
+var ErrConnClosed = errors.New("netstack: connection closed")
+
+// ErrConnReset is returned after an abortive close (failure injection).
+var ErrConnReset = errors.New("netstack: connection reset")
+
+// TCPListen opens a listener.
+func (h *Host) TCPListen(port uint16) (*TCPListener, error) {
+	if _, dup := h.listeners[port]; dup {
+		return nil, fmt.Errorf("%w: tcp %s:%d", ErrPortInUse, h.name, port)
+	}
+	l := &TCPListener{host: h, port: port, backlog: sim.NewChan[*TCPConn](h.net.sim, 0)}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// MustTCPListen listens or panics.
+func (h *Host) MustTCPListen(port uint16) *TCPListener {
+	l, err := h.TCPListen(port)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Accept blocks until a connection is established and returns its server
+// side.
+func (l *TCPListener) Accept(p *sim.Proc) *TCPConn { return l.backlog.Get(p) }
+
+// Close stops listening.
+func (l *TCPListener) Close() { delete(l.host.listeners, l.port) }
+
+// TCPDial establishes a connection to addr, blocking for the handshake
+// (SYN + SYN-ACK round trip).
+func (h *Host) TCPDial(p *sim.Proc, to Addr) (*TCPConn, error) {
+	dst, ok := h.net.hosts[to.Host]
+	if !ok {
+		return nil, fmt.Errorf("netstack: no route to host %q", to.Host)
+	}
+	l, ok := dst.listeners[to.Port]
+	if !ok {
+		return nil, fmt.Errorf("netstack: connection refused: %v", to)
+	}
+	h.net.ephemeral++
+	local := Addr{Host: h.name, Port: h.net.ephemeral}
+
+	client := &TCPConn{net: h.net, local: local, remote: to, localHost: h, remoteHost: dst,
+		rxq: sim.NewChan[[]byte](h.net.sim, 0)}
+	server := &TCPConn{net: h.net, local: to, remote: local, localHost: dst, remoteHost: h,
+		rxq: sim.NewChan[[]byte](h.net.sim, 0)}
+	client.peer, server.peer = server, client
+
+	established := sim.NewChan[struct{}](h.net.sim, 0)
+	// SYN out...
+	h.net.transmit(h, dst, 0, tcpOverhead, func() {
+		// ...SYN-ACK back.
+		h.net.transmit(dst, h, 0, tcpOverhead, func() {
+			established.TryPut(struct{}{})
+		})
+		l.backlog.TryPut(server)
+	})
+	established.Get(p)
+	return client, nil
+}
+
+// LocalAddr returns this side's address.
+func (c *TCPConn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *TCPConn) RemoteAddr() Addr { return c.remote }
+
+// Send transmits one framed message to the peer. Each message also costs an
+// ACK in the reverse direction, which is what makes TCP dearer on the wire
+// as well as on the CPU.
+func (c *TCPConn) Send(p *sim.Proc, msg []byte) error {
+	if c.closed {
+		return ErrConnClosed
+	}
+	if c.reset {
+		return ErrConnReset
+	}
+	buf := make([]byte, len(msg))
+	copy(buf, msg)
+	peer := c.peer
+	c.net.transmit(c.localHost, c.remoteHost, len(msg), tcpOverhead, func() {
+		if peer.closed || peer.reset {
+			return
+		}
+		peer.rxq.TryPut(buf) // unbounded: flow control not modelled
+		// Delayed ACK traffic back (fire and forget).
+		c.net.transmit(c.remoteHost, c.localHost, 0, tcpOverhead, func() {})
+	})
+	return nil
+}
+
+// Recv blocks for the next message from the peer.
+func (c *TCPConn) Recv(p *sim.Proc) ([]byte, error) {
+	for {
+		if msg, ok := c.rxq.TryGet(); ok {
+			return msg, nil
+		}
+		if c.reset {
+			return nil, ErrConnReset
+		}
+		if c.closed {
+			return nil, ErrConnClosed
+		}
+		msg, ok := c.rxq.GetTimeout(p, 100*time.Microsecond)
+		if ok {
+			return msg, nil
+		}
+	}
+}
+
+// RecvTimeout blocks up to d for the next message.
+func (c *TCPConn) RecvTimeout(p *sim.Proc, d time.Duration) ([]byte, bool, error) {
+	if msg, ok := c.rxq.TryGet(); ok {
+		return msg, true, nil
+	}
+	if c.reset {
+		return nil, false, ErrConnReset
+	}
+	if c.closed {
+		return nil, false, ErrConnClosed
+	}
+	msg, ok := c.rxq.GetTimeout(p, d)
+	if !ok {
+		return nil, false, nil
+	}
+	return msg, true, nil
+}
+
+// Close shuts the connection down gracefully on both ends (FIN exchange is
+// abstracted to a one-way notification delay).
+func (c *TCPConn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	peer := c.peer
+	c.net.transmit(c.localHost, c.remoteHost, 0, tcpOverhead, func() {
+		peer.closed = true
+	})
+}
+
+// Abort resets the connection immediately on both ends (failure injection:
+// the SNIC reports such errors to accelerators through the mqueue metadata
+// error status, §5.1).
+func (c *TCPConn) Abort() {
+	c.reset = true
+	c.peer.reset = true
+}
+
+// Reset reports whether the connection was aborted.
+func (c *TCPConn) Reset() bool { return c.reset }

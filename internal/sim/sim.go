@@ -1,0 +1,638 @@
+// Package sim implements a deterministic discrete-event simulator.
+//
+// The simulator advances a virtual clock by executing events in
+// (timestamp, sequence-number) order. On top of the raw event loop it offers
+// a coroutine-style process model: each process is a goroutine, but the
+// scheduler guarantees that at most one goroutine belonging to a simulation
+// runs at any instant, handing control back and forth explicitly. Together
+// with the seeded random source this makes every simulation bit-reproducible.
+//
+// Typical usage:
+//
+//	s := sim.New(sim.Config{Seed: 1})
+//	s.Spawn("server", func(p *sim.Proc) {
+//	    for {
+//	        req := queue.Get(p)    // blocks in virtual time
+//	        p.Sleep(10 * time.Microsecond)
+//	        replyTo.Put(p, req)
+//	    }
+//	})
+//	s.RunUntil(sim.Time(time.Second))
+//	s.Shutdown()
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration converts d to a Time span. It exists for symmetry with time
+// package arithmetic: Time(0).Add(d).
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed between u and t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// String formats the time like a time.Duration for readability.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed for the deterministic random source. The zero seed is valid and
+	// distinct from seed 1.
+	Seed uint64
+}
+
+// Sim is a single-threaded discrete-event simulation instance. A Sim must not
+// be shared across OS concurrency: all interaction happens either before Run,
+// from inside event callbacks, or from processes spawned on this Sim.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// yield is signalled by the currently running process when it blocks or
+	// exits, returning control to the scheduler.
+	yield chan struct{}
+
+	procs    map[*Proc]struct{}
+	nprocs   int
+	stopping bool
+}
+
+// New creates an empty simulation at time zero.
+func New(cfg Config) *Sim {
+	return &Sim{
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a logic error in a discrete-event model.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Run executes events until the event heap is empty.
+func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= limit, advancing the clock. It
+// returns when the heap is empty or the next event lies beyond limit; in the
+// latter case the clock is left at limit.
+func (s *Sim) RunUntil(limit Time) {
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > limit {
+			s.now = limit
+			return
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		next.fn()
+	}
+	if s.now < limit && limit < Time(1<<62-1) {
+		s.now = limit
+	}
+}
+
+// Pending reports the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// ---------------------------------------------------------------------------
+// Processes
+
+// Proc is a simulated process: a goroutine that runs under the simulation
+// scheduler. All blocking methods (Sleep, Chan.Get, Resource.Acquire, ...)
+// take the Proc so that control can be handed back to the scheduler.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	killed bool
+	done   bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time (convenience for p.Sim().Now()).
+func (p *Proc) Now() Time { return p.sim.now }
+
+// killedErr is the panic payload used to unwind killed processes.
+type killedErr struct{ name string }
+
+func (k killedErr) Error() string { return "sim: process " + k.name + " killed" }
+
+// Spawn starts fn as a new process at the current virtual time. The process
+// begins executing when the scheduler reaches its start event.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs[p] = struct{}{}
+	s.nprocs++
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			delete(s.procs, p)
+			s.nprocs--
+			if r := recover(); r != nil {
+				if _, ok := r.(killedErr); ok {
+					s.yield <- struct{}{}
+					return
+				}
+				// Re-panic on the scheduler side would deadlock; print and
+				// crash the whole program instead, preserving the trace.
+				panic(r)
+			}
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	s.At(s.now, func() { s.step(p) })
+	return p
+}
+
+// step transfers control to p and blocks until p yields or exits.
+func (s *Sim) step(p *Proc) {
+	if p.done {
+		return
+	}
+	if s.stopping {
+		p.killed = true
+	}
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// block suspends the calling process until the scheduler resumes it.
+func (p *Proc) block() {
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedErr{p.name})
+	}
+}
+
+// Sleep suspends the process for d of virtual time. Negative or zero
+// durations still yield to the scheduler at the current timestamp.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	s.At(s.now.Add(d), func() { s.step(p) })
+	p.block()
+}
+
+// Yield gives other events scheduled at the current instant a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Kill marks p so that its next blocking operation unwinds the process.
+// Killing an exited process is a no-op.
+func (p *Proc) Kill() { p.killed = true }
+
+// Shutdown kills all live processes, unwinding each at its blocking point,
+// and drains any events they schedule. Call after RunUntil to avoid leaking
+// goroutines; the Sim must not be used afterwards.
+func (s *Sim) Shutdown() {
+	s.stopping = true
+	for p := range s.procs {
+		p.killed = true
+	}
+	// Wake every blocked process. Processes blocked on channels/resources
+	// are tracked there; ones blocked on timers will be woken by their
+	// scheduled events, but those may be far in the future, so we resume
+	// each live proc directly.
+	live := make([]*Proc, 0, len(s.procs))
+	for p := range s.procs {
+		live = append(live, p)
+	}
+	for _, p := range live {
+		s.step(p)
+	}
+	// Drop remaining events; their closures may reference dead procs.
+	s.events = nil
+}
+
+// Live reports the number of live (spawned, not yet exited) processes.
+func (s *Sim) Live() int { return s.nprocs }
+
+// ---------------------------------------------------------------------------
+// Channels
+
+// Chan is a FIFO message queue operating in virtual time. A capacity of 0
+// means unbounded. Chan is the simulation analogue of a Go channel; all
+// operations must be called from processes of the same Sim.
+type Chan[T any] struct {
+	sim     *Sim
+	cap     int
+	buf     []T
+	getters waiterQ[T]
+	putters waiterQ[T]
+}
+
+// NewChan creates a queue. capacity == 0 means unbounded (Put never blocks).
+func NewChan[T any](s *Sim, capacity int) *Chan[T] {
+	return &Chan[T]{sim: s, cap: capacity}
+}
+
+type waiter[T any] struct {
+	p   *Proc
+	val T    // value being delivered (getter: filled by putter; putter: value to enqueue)
+	ok  bool // set when the rendezvous happened
+}
+
+type waiterQ[T any] struct{ q []*waiter[T] }
+
+func (w *waiterQ[T]) push(x *waiter[T]) { w.q = append(w.q, x) }
+func (w *waiterQ[T]) pop() *waiter[T] {
+	if len(w.q) == 0 {
+		return nil
+	}
+	x := w.q[0]
+	w.q[0] = nil
+	w.q = w.q[1:]
+	return x
+}
+func (w *waiterQ[T]) remove(x *waiter[T]) {
+	for i, y := range w.q {
+		if y == x {
+			w.q = append(w.q[:i], w.q[i+1:]...)
+			return
+		}
+	}
+}
+func (w *waiterQ[T]) len() int { return len(w.q) }
+
+// Len reports the number of buffered items.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Put enqueues v, blocking while the queue is at capacity.
+func (c *Chan[T]) Put(p *Proc, v T) {
+	if w := c.getters.pop(); w != nil {
+		// Direct hand-off to a waiting getter.
+		w.val, w.ok = v, true
+		c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
+		return
+	}
+	if c.cap == 0 || len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	w := &waiter[T]{p: p, val: v}
+	c.putters.push(w)
+	p.block()
+	if !w.ok {
+		// Unwound by Kill: remove from queue defensively (block panicked,
+		// so this line only runs if ok was set; keep for clarity).
+		c.putters.remove(w)
+	}
+}
+
+// TryPut enqueues v if the queue has room or a waiting getter, without
+// blocking. It reports whether the value was accepted.
+func (c *Chan[T]) TryPut(v T) bool {
+	if w := c.getters.pop(); w != nil {
+		w.val, w.ok = v, true
+		c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
+		return true
+	}
+	if c.cap == 0 || len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Get dequeues the oldest item, blocking while the queue is empty.
+func (c *Chan[T]) Get(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		var zero T
+		c.buf[0] = zero
+		c.buf = c.buf[1:]
+		// Admit a blocked putter, if any.
+		if w := c.putters.pop(); w != nil {
+			w.ok = true
+			c.buf = append(c.buf, w.val)
+			c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
+		}
+		return v
+	}
+	w := &waiter[T]{p: p}
+	c.getters.push(w)
+	defer func() {
+		if !w.ok {
+			c.getters.remove(w)
+		}
+	}()
+	p.block()
+	return w.val
+}
+
+// TryGet dequeues without blocking, reporting whether a value was available.
+func (c *Chan[T]) TryGet() (T, bool) {
+	var zero T
+	if len(c.buf) == 0 {
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	if w := c.putters.pop(); w != nil {
+		w.ok = true
+		c.buf = append(c.buf, w.val)
+		c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
+	}
+	return v, true
+}
+
+// GetTimeout dequeues with a deadline. The boolean result reports whether a
+// value was received (false means the timeout elapsed first).
+func (c *Chan[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
+	var zero T
+	if v, ok := c.TryGet(); ok {
+		return v, true
+	}
+	if d <= 0 {
+		return zero, false
+	}
+	w := &waiter[T]{p: p}
+	c.getters.push(w)
+	timedOut := false
+	c.sim.At(c.sim.now.Add(d), func() {
+		if w.ok || timedOut {
+			return
+		}
+		timedOut = true
+		c.getters.remove(w)
+		c.sim.step(w.p)
+	})
+	p.block()
+	if timedOut {
+		return zero, false
+	}
+	return w.val, true
+}
+
+// ---------------------------------------------------------------------------
+// Resources (counting semaphores with FIFO waiters)
+
+// Resource models a pool of n interchangeable units (CPU cores, DMA engines,
+// driver locks...). Acquire blocks until a unit is free; units are granted in
+// FIFO order.
+type Resource struct {
+	sim     *Sim
+	total   int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource creates a resource pool with n units. n must be positive.
+func NewResource(s *Sim, n int) *Resource {
+	if n <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{sim: s, total: n}
+}
+
+// Acquire takes one unit, blocking until available.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.total {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block()
+}
+
+// TryAcquire takes one unit if immediately available.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.total {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters[0] = nil
+		r.waiters = r.waiters[1:]
+		// Unit passes directly to the waiter; inUse stays constant.
+		r.sim.At(r.sim.now, func() { r.sim.step(w) })
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release without Acquire")
+	}
+	r.inUse--
+}
+
+// InUse reports the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting reports the number of blocked acquirers.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// With runs fn while holding one unit, charging exec virtual time.
+func (r *Resource) With(p *Proc, exec time.Duration, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	if exec > 0 {
+		p.Sleep(exec)
+	}
+	if fn != nil {
+		fn()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Signals
+
+// Signal is a broadcast edge-trigger: Wait blocks until the next Fire.
+type Signal struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewSignal creates a signal bound to s.
+func NewSignal(s *Sim) *Signal { return &Signal{sim: s} }
+
+// Wait blocks the calling process until the next Fire.
+func (sg *Signal) Wait(p *Proc) {
+	sg.waiters = append(sg.waiters, p)
+	p.block()
+}
+
+// Fire wakes every currently blocked waiter at the current instant.
+func (sg *Signal) Fire() {
+	ws := sg.waiters
+	sg.waiters = nil
+	for _, w := range ws {
+		w := w
+		sg.sim.At(sg.sim.now, func() { sg.sim.step(w) })
+	}
+}
+
+// Waiting reports the number of processes blocked on the signal.
+func (sg *Signal) Waiting() int { return len(sg.waiters) }
+
+// RunUntilCond advances the simulation in check-sized increments until cond
+// becomes true or limit is reached. It lets tests and experiments stop as
+// soon as their workload completes instead of simulating idle polling.
+func (s *Sim) RunUntilCond(limit Time, check time.Duration, cond func() bool) {
+	for s.now < limit && !cond() {
+		next := s.now.Add(check)
+		if next > limit {
+			next = limit
+		}
+		s.RunUntil(next)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gates
+
+// Gate is a level-safe, versioned broadcast: every Fire bumps the version
+// and wakes current waiters. Callers snapshot Version before checking their
+// condition and pass it to Wait, which returns immediately if anything fired
+// in between — eliminating the lost-wakeup race of edge-triggered signals.
+//
+// Gates exist so simulated busy-poll loops (GPU threadblocks watching
+// doorbells, the SNIC manager sweeping TX rings) can block instead of
+// burning simulator events each poll iteration; the caller re-adds the
+// modelled polling detection latency after waking.
+type Gate struct {
+	sim     *Sim
+	ver     uint64
+	waiters []*gateWaiter
+}
+
+type gateWaiter struct {
+	p     *Proc
+	woken bool
+}
+
+// NewGate creates a gate bound to s.
+func NewGate(s *Sim) *Gate { return &Gate{sim: s} }
+
+// Version returns the current fire count.
+func (g *Gate) Version() uint64 { return g.ver }
+
+// Waiting reports the number of blocked waiters.
+func (g *Gate) Waiting() int { return len(g.waiters) }
+
+// Fire bumps the version and wakes every current waiter.
+func (g *Gate) Fire() {
+	g.ver++
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		w := w
+		w.woken = true
+		g.sim.At(g.sim.now, func() { g.sim.step(w.p) })
+	}
+}
+
+func (g *Gate) remove(w *gateWaiter) {
+	for i, x := range g.waiters {
+		if x == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Wait blocks until the gate fires, unless it already fired since the caller
+// observed version since (in which case it returns immediately).
+func (g *Gate) Wait(p *Proc, since uint64) {
+	if g.ver != since {
+		return
+	}
+	w := &gateWaiter{p: p}
+	g.waiters = append(g.waiters, w)
+	defer func() {
+		if !w.woken {
+			g.remove(w)
+		}
+	}()
+	p.block()
+}
+
+// WaitTimeout is Wait with a deadline; it reports whether the gate fired
+// (true) or the timeout elapsed first (false).
+func (g *Gate) WaitTimeout(p *Proc, since uint64, d time.Duration) bool {
+	if g.ver != since {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	timedOut := false
+	w := &gateWaiter{p: p}
+	g.waiters = append(g.waiters, w)
+	g.sim.At(g.sim.now.Add(d), func() {
+		if w.woken || timedOut {
+			return
+		}
+		timedOut = true
+		g.remove(w)
+		g.sim.step(p)
+	})
+	p.block()
+	return w.woken
+}

@@ -1,0 +1,209 @@
+package snic_test
+
+import (
+	"testing"
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/sim"
+	"lynx/internal/snic"
+	"lynx/internal/workload"
+)
+
+func newTB() (*snic.Testbed, model.Params) {
+	p := model.Default()
+	return snic.NewTestbed(3, &p), p
+}
+
+func TestTestbedTopology(t *testing.T) {
+	tb, _ := newTB()
+	m1 := tb.NewMachine("server1", 6)
+	m2 := tb.NewMachine("server2", 6)
+	bf := m1.AttachBlueField("bf1")
+	gpuLocal := m1.AddGPU("gpu0", accel.K40m, false, "server1")
+	gpuRemote := m2.AddGPU("gpu1", accel.K80Half, false, "server1")
+	if err := tb.Validate(m1, m2); err != nil {
+		t.Fatal(err)
+	}
+	if gpuLocal.RemoteHost() != "" {
+		t.Fatal("gpu on the SNIC's machine must be local")
+	}
+	if gpuRemote.RemoteHost() != "server2" {
+		t.Fatalf("remote gpu host = %q", gpuRemote.RemoteHost())
+	}
+	// Local path: bf-nic -> bf switch -> host switch -> gpu.
+	if d := tb.Fab.Distance(bf.NIC, gpuLocal.Device()); d != 3 {
+		t.Fatalf("local GPU hops = %d", d)
+	}
+	// Remote path: bf-nic -> wire backbone -> remote nic -> remote switch
+	// -> gpu.
+	if d := tb.Fab.Distance(bf.NIC, gpuRemote.Device()); d != 4 {
+		t.Fatalf("remote GPU hops = %d, want 4", d)
+	}
+}
+
+func TestPlatformDefaults(t *testing.T) {
+	tb, _ := newTB()
+	m := tb.NewMachine("server1", 6)
+	bf := m.AttachBlueField("bf1")
+	plat := bf.Platform(0)
+	if plat.Workers != 7 {
+		t.Fatalf("default BlueField workers = %d, paper uses 7 of 8", plat.Workers)
+	}
+	if !plat.Bypass {
+		t.Fatal("BlueField must use VMA (§5.1.1)")
+	}
+	if plat.Machine.Kind() != model.ARMCore {
+		t.Fatal("BlueField platform must run on ARM cores")
+	}
+	host := m.HostPlatform(6, true)
+	if host.Machine.Kind() != model.XeonCore || host.Workers != 6 {
+		t.Fatal("host platform wrong")
+	}
+}
+
+func TestValidateRejectsForeignMachine(t *testing.T) {
+	tb1, _ := newTB()
+	p2 := model.Default()
+	tb2 := snic.NewTestbed(4, &p2)
+	foreign := tb2.NewMachine("elsewhere", 2)
+	if err := tb1.Validate(foreign); err == nil {
+		t.Fatal("foreign machine must fail validation")
+	}
+}
+
+// Innova receive path end to end: packets flow through the AFU into GPU
+// mqueues without any host/SNIC CPU processing.
+func TestInnovaReceivePath(t *testing.T) {
+	tb, _ := newTB()
+	m := tb.NewMachine("server1", 6)
+	in := m.AttachInnova("innova1")
+	gpu := m.AddGPU("gpu0", accel.K40m, false, "server1")
+	client := tb.AddClient("client1")
+
+	const nq = 4
+	qs, err := in.ServeUDP(7000, gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int, nq)
+	total := 0
+	if err := gpu.LaunchPersistent(tb.Sim, nq, func(tbk *accel.TB) {
+		aq := qs[tbk.Index()]
+		for {
+			aq.Recv(tbk.Proc())
+			got[tbk.Index()]++
+			total++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock := client.MustUDPBind(9000)
+	tb.Sim.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			sock.SendTo(in.NetHost.Addr(7000), make([]byte, 64))
+			p.Sleep(2 * time.Microsecond)
+		}
+	})
+	tb.Sim.RunUntilCond(sim.Time(100*time.Millisecond), time.Millisecond, func() bool { return total == 64 })
+	tb.Sim.Shutdown()
+	if total != 64 {
+		t.Fatalf("AFU delivered %d/64 packets", total)
+	}
+	// Round-robin steering spreads packets evenly (§5.2).
+	for i, g := range got {
+		if g != 16 {
+			t.Fatalf("queue %d got %d packets, want 16 (round robin)", i, g)
+		}
+	}
+	rcvd, dropped := in.Stats()
+	if rcvd != 64 || dropped != 0 {
+		t.Fatalf("stats rcvd=%d dropped=%d", rcvd, dropped)
+	}
+}
+
+// The Innova AFU must sustain multi-Mpps rates — far beyond any CPU path.
+func TestInnovaAFURate(t *testing.T) {
+	tb, _ := newTB()
+	m := tb.NewMachine("server1", 6)
+	in := m.AttachInnova("innova1")
+	gpu := m.AddGPU("gpu0", accel.K40m, false, "server1")
+	client := tb.AddClient("client1")
+	client2 := tb.AddClient("client2")
+
+	const nq = 64
+	qs, err := in.ServeUDP(7000, gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gpu.LaunchPersistent(tb.Sim, nq, func(tbk *accel.TB) {
+		aq := qs[tbk.Index()]
+		for {
+			aq.Recv(tbk.Proc())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.New(tb.Sim, workload.Config{
+		Proto: workload.UDP, Target: in.NetHost.Addr(7000), Payload: 64,
+		Clients: 8, RatePerSec: 8e6, Duration: 2 * time.Millisecond, Warmup: 500 * time.Microsecond,
+	}, client, client2)
+	g.Run()
+	tb.Sim.RunUntil(sim.Time(3 * time.Millisecond))
+	rcvd, _ := in.Stats()
+	tb.Sim.Shutdown()
+	rate := float64(rcvd) / 0.003
+	if rate < 3e6 {
+		t.Fatalf("Innova sustained only %.1fM pkt/s, want multi-Mpps (paper: 7.4M)", rate/1e6)
+	}
+}
+
+// The duplex extension: a full echo service through the FPGA, send path
+// included — the paper's §5.2 future work.
+func TestInnovaFullDuplexEcho(t *testing.T) {
+	tb, _ := newTB()
+	m := tb.NewMachine("server1", 6)
+	in := m.AttachInnova("innova1")
+	gpu := m.AddGPU("gpu0", accel.K40m, false, "server1")
+	client := tb.AddClient("client1")
+
+	const nq = 4
+	qs, err := in.ServeUDPFullDuplex(7000, gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gpu.LaunchPersistent(tb.Sim, nq, func(tbk *accel.TB) {
+		aq := qs[tbk.Index()]
+		for {
+			msg := aq.Recv(tbk.Proc())
+			if aq.Send(tbk.Proc(), uint16(msg.Slot), msg.Payload) != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock := client.MustUDPBind(9000)
+	got := 0
+	tb.Sim.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			payload := []byte{byte(i), 0xAA}
+			sock.SendTo(in.NetHost.Addr(7000), payload)
+			dg := sock.Recv(p)
+			if dg.Payload[0] != byte(i) {
+				t.Errorf("echo %d corrupted", i)
+			}
+			got++
+		}
+	})
+	tb.Sim.RunUntilCond(sim.Time(time.Second), time.Millisecond, func() bool { return got == 40 })
+	tb.Sim.Shutdown()
+	if got != 40 {
+		t.Fatalf("echoed %d/40 through the FPGA", got)
+	}
+	if in.Sent() != 40 {
+		t.Fatalf("egress sent %d", in.Sent())
+	}
+}

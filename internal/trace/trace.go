@@ -1,0 +1,170 @@
+// Package trace provides a lightweight, fixed-memory event tracer for the
+// Lynx runtime: a ring of typed events (message received, dispatched,
+// drained, forwarded, dropped, relayed) with virtual timestamps. It exists
+// for the observability a production server needs — `lynxd -trace` dumps the
+// tail of the ring, and tests assert on event flows.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"lynx/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds, following one request through the runtime.
+const (
+	// Recv: a message arrived from the network (arg0 = payload bytes).
+	Recv Kind = iota
+	// Dispatch: the dispatcher pushed it into an mqueue (arg0 = queue
+	// index, arg1 = RX slot).
+	Dispatch
+	// Drain: the MQ manager drained a TX message (arg0 = queue index,
+	// arg1 = correlation slot).
+	Drain
+	// Forward: a response left toward a client (arg0 = payload bytes).
+	Forward
+	// Relay: a pipeline stage-to-stage hand-off (arg0 = next stage).
+	Relay
+	// Drop: a message was discarded (arg0 = queue index).
+	Drop
+	// BackendOut: a client-mqueue message left toward a backend.
+	BackendOut
+	// BackendIn: a backend response was pushed into a client mqueue.
+	BackendIn
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Recv:
+		return "recv"
+	case Dispatch:
+		return "dispatch"
+	case Drain:
+		return "drain"
+	case Forward:
+		return "forward"
+	case Relay:
+		return "relay"
+	case Drop:
+		return "drop"
+	case BackendOut:
+		return "backend-out"
+	case BackendIn:
+		return "backend-in"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Arg0 uint64
+	Arg1 uint64
+}
+
+// String formats the event for dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-11s arg0=%d arg1=%d", time.Duration(e.At), e.Kind, e.Arg0, e.Arg1)
+}
+
+// Tracer is a fixed-capacity event ring. A nil *Tracer is valid and records
+// nothing, so call sites never need nil checks beyond the method receiver.
+type Tracer struct {
+	ring   []Event
+	next   int
+	total  uint64
+	counts [numKinds]uint64
+}
+
+// New creates a tracer holding the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Emit records one event. Safe on a nil tracer.
+func (t *Tracer) Emit(at sim.Time, kind Kind, arg0, arg1 uint64) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: at, Kind: kind, Arg0: arg0, Arg1: arg1}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	if int(kind) < len(t.counts) {
+		t.counts[kind]++
+	}
+}
+
+// Total reports all events ever emitted (including evicted ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Count reports events of one kind ever emitted.
+func (t *Tracer) Count(kind Kind) uint64 {
+	if t == nil || int(kind) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[kind]
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.ring) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Tail returns the most recent n retained events.
+func (t *Tracer) Tail(n int) []Event {
+	evs := t.Events()
+	if n >= len(evs) {
+		return evs
+	}
+	return evs[len(evs)-n:]
+}
+
+// Summary formats per-kind counters.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "trace disabled"
+	}
+	s := ""
+	for k := Kind(0); k < numKinds; k++ {
+		if t.counts[k] == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, t.counts[k])
+	}
+	if s == "" {
+		return "no events"
+	}
+	return s
+}

@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"lynx/internal/netstack"
+	"lynx/internal/sim"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	s := sim.New(sim.Config{Seed: 2})
+	g := New(s, Config{Proto: UDP, RatePerSec: 1000, Poisson: true}, &netstack.Host{})
+	_ = g
+	sum := time.Duration(0)
+	n := 10000
+	for i := 0; i < n; i++ {
+		sum += g.gap(time.Millisecond)
+	}
+	mean := sum / time.Duration(n)
+	t.Logf("mean gap = %v", mean)
+	if mean < 900*time.Microsecond || mean > 1100*time.Microsecond {
+		t.Fatalf("mean %v, want ~1ms", mean)
+	}
+}

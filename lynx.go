@@ -1,0 +1,162 @@
+// Package lynx is the public facade of the Lynx reproduction: a
+// SmartNIC-driven, accelerator-centric network server architecture
+// (Tork, Maudlej, Silberstein — ASPLOS 2020), implemented on a
+// deterministic discrete-event simulation of the full hardware stack.
+//
+// A deployment is built in four steps:
+//
+//  1. create a Cluster (the simulated testbed: switch, machines, clients);
+//  2. add machines, SmartNICs and accelerators;
+//  3. create a Server (the Lynx runtime) on a SmartNIC or host platform,
+//     register accelerators and services, and wire accelerator-side
+//     request-processing code to the returned mqueues;
+//  4. Start everything and Run the cluster's virtual clock.
+//
+// See examples/quickstart for the minimal end-to-end program and DESIGN.md
+// for the architecture.
+package lynx
+
+import (
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/core"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/sim"
+	"lynx/internal/snic"
+	"lynx/internal/workload"
+)
+
+// Re-exported building blocks. The internal packages carry the full API;
+// these aliases cover everything a deployment needs.
+type (
+	// Cluster is a simulated deployment (machines, network, virtual time).
+	Cluster struct {
+		tb     *snic.Testbed
+		params *model.Params
+	}
+	// Machine is one physical server.
+	Machine = snic.Machine
+	// BlueField is the ARM SmartNIC platform.
+	BlueField = snic.BlueField
+	// Innova is the FPGA SmartNIC (receive path).
+	Innova = snic.Innova
+	// GPU is a simulated CUDA device.
+	GPU = accel.GPU
+	// VCA is the Intel Visual Compute Accelerator.
+	VCA = accel.VCA
+	// TB is a persistent-kernel threadblock context.
+	TB = accel.TB
+	// Server is a Lynx runtime instance.
+	Server = core.Runtime
+	// AccelHandle binds a registered accelerator's mqueues.
+	AccelHandle = core.AccelHandle
+	// Service is a client-facing UDP/TCP service.
+	Service = core.Service
+	// ClientBinding is a client mqueue bound to a backend.
+	ClientBinding = core.ClientBinding
+	// Pipeline is a multi-accelerator composition: requests traverse a
+	// chain of accelerator stages with the SNIC relaying between them.
+	Pipeline = core.Pipeline
+	// Queue is the accelerator-side mqueue handle (the lightweight I/O
+	// library accelerator code uses).
+	Queue = mqueue.AccelQueue
+	// Msg is one message received on a Queue.
+	Msg = mqueue.Msg
+	// QueueConfig shapes mqueue geometry.
+	QueueConfig = mqueue.Config
+	// Addr is a network address.
+	Addr = netstack.Addr
+	// Host is a network endpoint (clients, backends).
+	Host = netstack.Host
+	// Params holds every calibrated hardware constant.
+	Params = model.Params
+	// Proc is a simulated process handle.
+	Proc = sim.Proc
+	// LoadConfig parameterizes a load generator.
+	LoadConfig = workload.Config
+	// LoadResult summarizes a load run.
+	LoadResult = workload.Result
+)
+
+// Protocols and queue kinds.
+const (
+	UDP = core.UDP
+	TCP = core.TCP
+
+	ServerQueue = mqueue.ServerQueue
+	ClientQueue = mqueue.ClientQueue
+
+	K40m = accel.K40m
+	K80  = accel.K80Half
+)
+
+// DefaultParams returns the calibrated model constants (a copy, free to
+// modify before NewCluster).
+func DefaultParams() Params { return model.Default() }
+
+// NewCluster creates an empty simulated deployment with the given seed and
+// parameters (nil for defaults).
+func NewCluster(seed uint64, p *Params) *Cluster {
+	if p == nil {
+		def := model.Default()
+		p = &def
+	}
+	return &Cluster{tb: snic.NewTestbed(seed, p), params: p}
+}
+
+// Params returns the cluster's model constants.
+func (c *Cluster) Params() *Params { return c.params }
+
+// NewMachine adds a server machine with the given Xeon core count.
+func (c *Cluster) NewMachine(name string, cores int) *Machine {
+	return c.tb.NewMachine(name, cores)
+}
+
+// AddClient adds a client host (a load-generator machine).
+func (c *Cluster) AddClient(name string) *Host { return c.tb.AddClient(name) }
+
+// NewServer creates a Lynx runtime on a platform obtained from
+// (*BlueField).Platform or (*Machine).HostPlatform.
+func NewServer(plat core.Platform) *Server { return core.NewRuntime(plat) }
+
+// Spawn starts a simulated process (for clients, backends, custom logic).
+func (c *Cluster) Spawn(name string, fn func(p *Proc)) { c.tb.Sim.Spawn(name, fn) }
+
+// After schedules fn at the given virtual delay.
+func (c *Cluster) After(d time.Duration, fn func()) { c.tb.Sim.After(d, fn) }
+
+// Now returns the current virtual time as a duration since boot.
+func (c *Cluster) Now() time.Duration { return time.Duration(c.tb.Sim.Now()) }
+
+// Run advances virtual time by d.
+func (c *Cluster) Run(d time.Duration) {
+	c.tb.Sim.RunUntil(c.tb.Sim.Now().Add(d))
+}
+
+// RunUntil advances virtual time in steps until cond holds or d elapses.
+func (c *Cluster) RunUntil(d time.Duration, cond func() bool) {
+	c.tb.Sim.RunUntil(c.tb.Sim.Now()) // flush current instant
+	c.tb.Sim.RunUntilCond(c.tb.Sim.Now().Add(d), time.Millisecond, cond)
+}
+
+// Close shuts the cluster down, unwinding all simulated processes.
+func (c *Cluster) Close() { c.tb.Sim.Shutdown() }
+
+// Testbed exposes the underlying testbed for advanced wiring (Innova,
+// custom fabrics, direct access to the simulator).
+func (c *Cluster) Testbed() *snic.Testbed { return c.tb }
+
+// NewLoad creates a workload generator targeting a service from the given
+// client hosts.
+func (c *Cluster) NewLoad(cfg LoadConfig, clients ...*Host) *workload.Generator {
+	return workload.New(c.tb.Sim, cfg, clients...)
+}
+
+// MeasureLoad runs a workload to completion and returns its result.
+func (c *Cluster) MeasureLoad(cfg LoadConfig, clients ...*Host) LoadResult {
+	g := workload.New(c.tb.Sim, cfg, clients...)
+	return workload.RunFor(c.tb.Sim, g)
+}

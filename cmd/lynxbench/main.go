@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lynx/internal/experiments"
+	"lynx/internal/fault"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "simulation seed")
 		scale = flag.Float64("scale", 1.0, "measurement window scale factor")
 		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
+		loss  = flag.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,9 @@ func main() {
 		ids = experiments.List()
 	}
 	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	if *loss > 0 {
+		cfg.Faults = fault.Config{Seed: *seed, DropRate: *loss}
+	}
 	for _, id := range ids {
 		start := time.Now()
 		report, err := experiments.Run(id, cfg)

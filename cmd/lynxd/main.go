@@ -30,13 +30,26 @@ func main() {
 		queues   = flag.Int("queues", 8, "server mqueues / GPU threadblocks (echo app)")
 		rate     = flag.Float64("rate", 0, "open-loop request rate (0 = closed loop)")
 		clients  = flag.Int("clients", 16, "closed-loop client count")
+		retries  = flag.Int("retries", 0, "closed-loop same-seq retransmits before a request counts lost")
 		secs     = flag.Float64("secs", 1.0, "simulated seconds to run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		traceN   = flag.Int("trace", 0, "dump the last N runtime trace events")
+		loss     = flag.Float64("loss", 0, "inject datagram drop probability (0..1)")
+		dup      = flag.Float64("dup", 0, "inject datagram duplication probability (0..1)")
+		rdmaErr  = flag.Float64("rdma-err", 0, "inject RDMA completion error probability (0..1)")
+		stallQ   = flag.Int("stall-queue", -1, "accelerator queue to stall (-1 = none)")
+		stallAt  = flag.Duration("stall-at", 50*time.Millisecond, "when the stall window opens")
+		stallFor = flag.Duration("stall-for", 100*time.Millisecond, "how long the stalled queue stays dead")
 	)
 	flag.Parse()
 
-	cluster := lynx.NewCluster(*seed, nil)
+	fc := lynx.FaultConfig{
+		Seed: *seed, DropRate: *loss, DupRate: *dup, RDMAErrRate: *rdmaErr,
+	}
+	if *stallQ >= 0 {
+		fc.Stalls = []lynx.FaultStall{{Accel: "gpu0", Queue: *stallQ, At: *stallAt, For: *stallFor}}
+	}
+	cluster := lynx.NewCluster(lynx.WithSeed(*seed), lynx.WithFaults(fc))
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
@@ -112,7 +125,7 @@ func main() {
 	window := time.Duration(*secs * float64(time.Second))
 	gen := cluster.NewLoad(lynx.LoadConfig{
 		Proto: workload.UDP, Target: target, Payload: payload, Body: body,
-		Clients: *clients, RatePerSec: *rate,
+		Clients: *clients, RatePerSec: *rate, Retries: *retries,
 		Duration: window, Warmup: window / 10,
 	}, client)
 	res := gen.Run()
@@ -121,12 +134,15 @@ func main() {
 	step := 100 * time.Millisecond
 	for elapsed := time.Duration(0); elapsed < window+window/10; elapsed += step {
 		cluster.Run(step)
-		rcv, resp, drop := srv.Stats()
-		fmt.Printf("  t=%-8v received=%-8d responded=%-8d dropped=%-4d inflight~%d\n",
-			cluster.Now().Round(time.Millisecond), rcv, resp, drop, rcv-resp)
+		st := srv.Stats()
+		fmt.Printf("  t=%-8v %s inflight~%d\n",
+			cluster.Now().Round(time.Millisecond), st, st.Received-st.Responded)
 	}
 	cluster.Run(50 * time.Millisecond)
 	fmt.Printf("\nresult: %v\n", *res)
+	if fc.Enabled() {
+		fmt.Printf("faults injected: %s\n", cluster.FaultStats())
+	}
 	if tracer != nil {
 		fmt.Printf("\ntrace summary: %s\nlast %d events:\n", tracer.Summary(), *traceN)
 		for _, ev := range tracer.Tail(*traceN) {

@@ -10,7 +10,7 @@ import (
 // Example builds the smallest complete deployment: a GPU echo service behind
 // Lynx on a BlueField SmartNIC, and one request through it.
 func Example() {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	defer cluster.Close()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")

@@ -33,7 +33,7 @@ func body(seq uint64, buf []byte) {
 }
 
 func runLynx(net *lenet.Network) workload.Result {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
@@ -66,7 +66,7 @@ func runLynx(net *lenet.Network) workload.Result {
 }
 
 func runHostCentric(net *lenet.Network) workload.Result {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	server := cluster.NewMachine("server1", 6)
 	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
 	client := cluster.AddClient("client1")

@@ -19,7 +19,7 @@ import (
 const payload = workload.SeqBytes + lenet.InputBytes
 
 func main() {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpuPre := server.AddGPU("gpu-preprocess", lynx.K40m, false, "server1")

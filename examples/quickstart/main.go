@@ -17,7 +17,7 @@ import (
 func main() {
 	// 1. Build the cluster: one server (6 Xeon cores), a BlueField SNIC,
 	//    one GPU, one client machine.
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
@@ -65,8 +65,7 @@ func main() {
 
 	fmt.Printf("echo service at %v, via Lynx on BlueField:\n", svc.Addr())
 	cluster.RunUntil(time.Second, func() bool { return done })
-	rcv, resp, drop := srv.Stats()
-	fmt.Printf("server stats: received=%d responded=%d dropped=%d\n", rcv, resp, drop)
+	fmt.Printf("server stats: %s\n", srv.Stats())
 	cluster.Close()
 }
 

@@ -15,7 +15,7 @@ import (
 )
 
 func run(nLocal, nRemote int) workload.Result {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	client := cluster.AddClient("client1")

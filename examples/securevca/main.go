@@ -20,7 +20,7 @@ import (
 const payload = workload.SeqBytes + secure.CipherSize
 
 func main() {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	vca := server.AddVCA("vca0")

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"lynx/internal/fabric"
+	"lynx/internal/fault"
 	"lynx/internal/memdev"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
@@ -65,6 +66,7 @@ type GPU struct {
 	params *model.Params
 	driver *Driver
 	remote string
+	faults *fault.Plan
 
 	maxTB    int
 	resident int
@@ -89,6 +91,9 @@ type GPUConfig struct {
 	// RemoteHost marks the GPU as living in another machine, reached via
 	// that machine's RDMA NIC (§5.5).
 	RemoteHost string
+	// Faults is the fault plan stalling this GPU's mqueue accesses inside
+	// configured windows (nil injects nothing).
+	Faults *fault.Plan
 }
 
 // NewGPU creates a GPU, attaches it to the fabric, and returns it. driver is
@@ -113,6 +118,7 @@ func NewGPU(s *sim.Sim, p *model.Params, fab *fabric.Fabric, driver *Driver, nam
 		params:    p,
 		driver:    driver,
 		remote:    cfg.RemoteHost,
+		faults:    cfg.Faults,
 		maxTB:     maxTB,
 		exclusive: sim.NewResource(s, 1),
 	}
@@ -136,6 +142,8 @@ func (g *GPU) Profile() mqueue.AccessProfile {
 	return mqueue.AccessProfile{
 		LocalAccess:  g.params.GPULocalAccess,
 		PollInterval: g.params.GPUPollInterval,
+		Accel:        g.name,
+		Faults:       g.faults,
 	}
 }
 
@@ -301,7 +309,12 @@ type VCA struct {
 	dev    *fabric.Device
 	params *model.Params
 	nodes  int
+	faults *fault.Plan
 }
+
+// SetFaults installs the fault plan stalling this VCA's mqueue accesses
+// inside configured windows (nil injects nothing).
+func (v *VCA) SetFaults(pl *fault.Plan) { v.faults = pl }
 
 // NewVCA creates the VCA and its host-memory staging device on the fabric.
 func NewVCA(s *sim.Sim, p *model.Params, fab *fabric.Fabric, name string) *VCA {
@@ -331,6 +344,8 @@ func (v *VCA) Profile() mqueue.AccessProfile {
 	return mqueue.AccessProfile{
 		LocalAccess:  v.params.PCIeLatency + v.params.PCIeSwitchLatency,
 		PollInterval: 2 * time.Microsecond,
+		Accel:        v.name,
+		Faults:       v.faults,
 	}
 }
 

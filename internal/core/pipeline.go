@@ -115,12 +115,12 @@ func (pl *Pipeline) pushStage(p *sim.Proc, stage int, payload []byte, to replyTo
 	pq := queues[pl.policy.Pick(netstack.Addr{}, len(queues))]
 	slot, err := pq.q.Push(p, payload, 0)
 	if err != nil {
-		rt.dropped++
+		rt.drop(p.Now(), DropOverflow, uint64(stage))
 		return
 	}
 	pq.pending[slot] = append(pq.pending[slot], to)
 	if stage == 0 {
-		rt.received++
+		rt.stats.Received++
 	}
 }
 
@@ -154,5 +154,5 @@ func (pl *Pipeline) advance(p *sim.Proc, stage int, pq *pipeQueue, msg mqueue.Tx
 			_ = to.conn.Send(p, msg.Payload)
 		}
 	}
-	rt.responded++
+	rt.stats.Responded++
 }

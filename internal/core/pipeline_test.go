@@ -89,9 +89,9 @@ func TestPipelineTwoGPUs(t *testing.T) {
 	if pl.Relayed() != n {
 		t.Fatalf("relayed = %d, want %d (one relay per request)", pl.Relayed(), n)
 	}
-	rcv, resp, drop := rt.Stats()
-	if rcv != n || resp != n || drop != 0 {
-		t.Fatalf("stats rcv=%d resp=%d drop=%d", rcv, resp, drop)
+	st := rt.Stats()
+	if st.Received != n || st.Responded != n || st.Dropped() != 0 {
+		t.Fatalf("stats rcv=%d resp=%d drop=%d", st.Received, st.Responded, st.Dropped())
 	}
 }
 

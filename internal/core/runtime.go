@@ -56,6 +56,72 @@ type Platform struct {
 	Tracer *trace.Tracer
 }
 
+// DropCause classifies why the runtime discarded a message.
+type DropCause int
+
+const (
+	// DropOverflow: a healthy mqueue's RX ring was full — the explicit
+	// overload-shedding point (the accelerator is not keeping up).
+	DropOverflow DropCause = iota
+	// DropStalled: the message was aimed at a watchdog-failed queue and no
+	// capacity remained anywhere else.
+	DropStalled
+	// DropBackend: a backend-facing message was abandoned — a backend
+	// response hit a full client-mqueue RX ring, or a client-mqueue request
+	// exhausted its retransmission budget.
+	DropBackend
+	numDropCauses
+)
+
+// String names the cause.
+func (c DropCause) String() string {
+	switch c {
+	case DropOverflow:
+		return "overflow"
+	case DropStalled:
+		return "stalled"
+	case DropBackend:
+		return "backend"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is the runtime's counter snapshot. All counters are monotonic.
+type Stats struct {
+	// Received counts messages accepted from the network into mqueues.
+	Received uint64
+	// Responded counts responses sent back to clients.
+	Responded uint64
+	// Forwarded counts client-mqueue messages shipped to backends.
+	Forwarded uint64
+	// DroppedOverflow/DroppedStalled/DroppedBackend count discarded
+	// messages by cause (see DropCause).
+	DroppedOverflow uint64
+	DroppedStalled  uint64
+	DroppedBackend  uint64
+	// Retries counts client-mqueue retransmissions after request timeouts.
+	Retries uint64
+	// Failovers counts queues the MQ-manager watchdog marked failed;
+	// Failbacks counts queues it restored after they made progress again.
+	Failovers uint64
+	Failbacks uint64
+}
+
+// Dropped totals discarded messages across all causes.
+func (s Stats) Dropped() uint64 {
+	return s.DroppedOverflow + s.DroppedStalled + s.DroppedBackend
+}
+
+// String formats the snapshot on one line with a stable field order, so it is
+// byte-comparable across runs in determinism tests.
+func (s Stats) String() string {
+	return fmt.Sprintf("received=%d responded=%d forwarded=%d dropped=%d(overflow=%d stalled=%d backend=%d) retries=%d failovers=%d failbacks=%d",
+		s.Received, s.Responded, s.Forwarded, s.Dropped(),
+		s.DroppedOverflow, s.DroppedStalled, s.DroppedBackend,
+		s.Retries, s.Failovers, s.Failbacks)
+}
+
 // Runtime is one Lynx instance.
 type Runtime struct {
 	plat   Platform
@@ -69,14 +135,25 @@ type Runtime struct {
 
 	started bool
 
-	// Stats
-	received  uint64 // messages accepted from the network
-	responded uint64 // responses sent to clients
-	dropped   uint64 // messages dropped on full rings
+	stats Stats
 
 	nextEphemeral uint16
 	cpuBusy       time.Duration
 	execCalls     uint64
+}
+
+// drop records one discarded message with its cause (arg1 of the trace.Drop
+// event) and the queue index it was aimed at (arg0).
+func (rt *Runtime) drop(now sim.Time, cause DropCause, qi uint64) {
+	switch cause {
+	case DropStalled:
+		rt.stats.DroppedStalled++
+	case DropBackend:
+		rt.stats.DroppedBackend++
+	default:
+		rt.stats.DroppedOverflow++
+	}
+	rt.plat.Tracer.Emit(now, trace.Drop, qi, uint64(cause))
 }
 
 // CPUBusy reports accumulated runtime CPU time (for utilization probes).
@@ -305,6 +382,9 @@ type boundQueue struct {
 	h *AccelHandle
 	// pending maps RX slot -> FIFO of outstanding reply destinations.
 	pending [][]replyTo
+	// failed marks the queue as stalled per the MQ-manager watchdog;
+	// dispatch steers new work away until the queue makes progress again.
+	failed bool
 }
 
 // Service is one accelerated network service frontend.
@@ -372,21 +452,36 @@ func (s *Service) Port() uint16 { return s.port }
 // Addr returns the service's network address.
 func (s *Service) Addr() netstack.Addr { return s.rt.plat.NetHost.Addr(s.port) }
 
-// dispatch delivers one client message to a server mqueue.
+// dispatch delivers one client message to a server mqueue. Queues the
+// watchdog marked failed are skipped (graceful degradation): the policy's
+// pick rotates forward to the next healthy queue. When every queue is failed
+// the original pick is kept — shedding everything on a (possibly false)
+// watchdog verdict would be worse than trying the ring.
 func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstack.Addr) {
 	rt := s.rt
 	rt.plat.Tracer.Emit(p.Now(), trace.Recv, uint64(len(payload)), uint64(s.port))
 	rt.exec(p, rt.plat.Params.DispatchCost)
 	qi := s.policy.Pick(from, len(s.queues))
+	if s.queues[qi].failed {
+		for off := 1; off < len(s.queues); off++ {
+			if alt := (qi + off) % len(s.queues); !s.queues[alt].failed {
+				qi = alt
+				break
+			}
+		}
+	}
 	bq := s.queues[qi]
 	slot, err := bq.q.Push(p, payload, 0)
 	if err != nil {
-		rt.dropped++
-		rt.plat.Tracer.Emit(p.Now(), trace.Drop, uint64(qi), 0)
+		cause := DropOverflow
+		if bq.failed {
+			cause = DropStalled
+		}
+		rt.drop(p.Now(), cause, uint64(qi))
 		return
 	}
 	bq.pending[slot] = append(bq.pending[slot], to)
-	rt.received++
+	rt.stats.Received++
 	rt.plat.Tracer.Emit(p.Now(), trace.Dispatch, uint64(qi), uint64(slot))
 }
 
@@ -412,12 +507,20 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 			_ = to.conn.Send(p, msg.Payload)
 		}
 	}
-	rt.responded++
+	rt.stats.Responded++
 	rt.plat.Tracer.Emit(p.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
 }
 
 // ---------------------------------------------------------------------------
 // Client mqueues (§4.3: accelerator-initiated connections to backends)
+
+// pendingSend is one client-mqueue UDP request awaiting its backend response
+// (responses match requests FIFO: the backends Lynx targets answer in order).
+type pendingSend struct {
+	payload  []byte
+	attempts int
+	deadline sim.Time
+}
 
 // ClientBinding wires one client mqueue to a fixed backend destination over
 // TCP (the §6.4 memcached pattern) or UDP.
@@ -429,6 +532,11 @@ type ClientBinding struct {
 	conn  *netstack.TCPConn
 	sock  *netstack.UDPSocket
 	qi    int
+
+	// outstanding is the FIFO of unanswered UDP requests, retransmitted by
+	// the per-binding retry process (TCP bindings rely on the transport and
+	// report failures through mqueue metadata instead).
+	outstanding []pendingSend
 }
 
 // AddClientQueue claims one mqueue of the handle as a client mqueue bound to
@@ -459,10 +567,17 @@ func (cb *ClientBinding) forwardOut(p *sim.Proc, msg mqueue.TxMsg) {
 	rt := cb.rt
 	rt.plat.Tracer.Emit(p.Now(), trace.BackendOut, uint64(len(msg.Payload)), uint64(cb.qi))
 	rt.execParallel(p, rt.plat.Params.ForwardCost)
+	rt.stats.Forwarded++
 	switch cb.proto {
 	case UDP:
 		rt.execParallel(p, rt.udpCost())
 		cb.sock.SendTo(cb.dst, msg.Payload)
+		if rt.plat.Params.ClientRetryMax > 0 && rt.plat.Params.ClientRetryTimeout > 0 {
+			cb.outstanding = append(cb.outstanding, pendingSend{
+				payload:  msg.Payload,
+				deadline: p.Now().Add(rt.plat.Params.ClientRetryTimeout),
+			})
+		}
 	case TCP:
 		rt.execParallel(p, rt.tcpCost())
 		if cb.conn != nil {
@@ -557,7 +672,8 @@ func (rt *Runtime) Start() error {
 	}
 
 	// Client bindings: establish static connections, then pump responses
-	// inbound.
+	// inbound. UDP bindings also run a retry process enforcing the
+	// per-request timeout with bounded retransmission + exponential backoff.
 	for _, cb := range rt.clients {
 		cb := cb
 		s.Spawn(fmt.Sprintf("lynx/client-mq:%s", cb.dst), func(p *sim.Proc) {
@@ -572,8 +688,15 @@ func (rt *Runtime) Start() error {
 				for {
 					dg := sock.Recv(p)
 					rt.execParallel(p, rt.udpCost())
+					if len(cb.outstanding) > 0 {
+						// FIFO response matching settles the oldest request
+						// (late duplicates of retransmitted requests settle
+						// newer ones — harmless for idempotent backends).
+						cb.outstanding = cb.outstanding[1:]
+					}
+					rt.plat.Tracer.Emit(p.Now(), trace.BackendIn, uint64(len(dg.Payload)), uint64(cb.qi))
 					if _, err := cb.bq.q.Push(p, dg.Payload, 0); err != nil {
-						rt.dropped++
+						rt.drop(p.Now(), DropBackend, uint64(cb.qi))
 					}
 				}
 			case TCP:
@@ -592,11 +715,41 @@ func (rt *Runtime) Start() error {
 					rt.execParallel(p, rt.tcpCost())
 					rt.plat.Tracer.Emit(p.Now(), trace.BackendIn, uint64(len(msg)), uint64(cb.qi))
 					if _, err := cb.bq.q.Push(p, msg, 0); err != nil {
-						rt.dropped++
+						rt.drop(p.Now(), DropBackend, uint64(cb.qi))
 					}
 				}
 			}
 		})
+		if cb.proto == UDP && rt.plat.Params.ClientRetryMax > 0 && rt.plat.Params.ClientRetryTimeout > 0 {
+			s.Spawn(fmt.Sprintf("lynx/client-retry:%s", cb.dst), func(p *sim.Proc) {
+				timeout := rt.plat.Params.ClientRetryTimeout
+				for {
+					p.Sleep(timeout / 4)
+					if cb.sock == nil {
+						continue
+					}
+					now := p.Now()
+					for len(cb.outstanding) > 0 {
+						head := &cb.outstanding[0]
+						if now < head.deadline {
+							break
+						}
+						if head.attempts >= rt.plat.Params.ClientRetryMax {
+							cb.outstanding = cb.outstanding[1:]
+							rt.drop(now, DropBackend, uint64(cb.qi))
+							continue
+						}
+						head.attempts++
+						rt.stats.Retries++
+						rt.plat.Tracer.Emit(now, trace.Retry, uint64(cb.qi), uint64(head.attempts))
+						rt.execParallel(p, rt.udpCost())
+						cb.sock.SendTo(cb.dst, head.payload)
+						// Exponential backoff: double the wait per attempt.
+						head.deadline = now.Add(timeout << uint(head.attempts))
+					}
+				}
+			})
+		}
 	}
 
 	// Remote MQ manager + message forwarder: one sweep process per
@@ -654,6 +807,20 @@ func (rt *Runtime) Start() error {
 			w := w
 			s.Spawn(fmt.Sprintf("lynx/mq-manager:%s/%d", h.acc.Name(), w), func(p *sim.Proc) {
 				gate := h.group.ActivityGate()
+				// Watchdog state for the queues this context owns: the
+				// accelerator progress counters last observed and when they
+				// last moved. A queue holding in-flight messages with
+				// neither counter advancing for MQWatchdogTimeout is marked
+				// failed; it is restored the moment it makes progress.
+				wd := rt.plat.Params.MQWatchdogTimeout
+				type qhealth struct {
+					rxc, txs uint64
+					last     sim.Time
+				}
+				health := make([]qhealth, h.group.Len())
+				for i := range health {
+					health[i].last = p.Now()
+				}
 				for {
 					v := gate.Version()
 					h.group.Refresh(p)
@@ -677,12 +844,49 @@ func (rt *Runtime) Start() error {
 							}
 						}
 						q.CommitTx(p)
+						if wd <= 0 {
+							continue
+						}
+						rxc, txs := q.Counters()
+						hs := &health[i]
+						switch {
+						case rxc != hs.rxc || txs != hs.txs || q.InFlight() == 0:
+							hs.rxc, hs.txs, hs.last = rxc, txs, p.Now()
+							if bq := sinks[i].bq; bq != nil && bq.failed {
+								bq.failed = false
+								rt.stats.Failbacks++
+								rt.plat.Tracer.Emit(p.Now(), trace.Failover, uint64(i), 1)
+							}
+						case p.Now().Sub(hs.last) >= wd:
+							if bq := sinks[i].bq; bq != nil && sinks[i].svc != nil && !bq.failed {
+								bq.failed = true
+								rt.stats.Failovers++
+								rt.plat.Tracer.Emit(p.Now(), trace.Failover, uint64(i), 0)
+							}
+						}
 					}
 					if !drained {
 						// The real manager spins at MQPollInterval; the
 						// simulator blocks on header activity and re-adds
-						// the polling detection delay.
-						gate.Wait(p, v)
+						// the polling detection delay. While any owned
+						// queue holds in-flight work the wait is bounded by
+						// the watchdog timeout, so a fully stalled
+						// accelerator (which never fires the gate) still
+						// gets inspected.
+						stuck := false
+						if wd > 0 {
+							for i := w; i < h.group.Len(); i += nMgr {
+								if h.group.Queue(i).InFlight() > 0 {
+									stuck = true
+									break
+								}
+							}
+						}
+						if stuck {
+							gate.WaitTimeout(p, v, wd)
+						} else {
+							gate.Wait(p, v)
+						}
 						p.Sleep(rt.plat.Params.MQPollInterval / 2)
 					}
 				}
@@ -692,10 +896,8 @@ func (rt *Runtime) Start() error {
 	return nil
 }
 
-// Stats reports accepted, responded, and dropped message counts.
-func (rt *Runtime) Stats() (received, responded, dropped uint64) {
-	return rt.received, rt.responded, rt.dropped
-}
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
 
 // PolicyFunc adapts a function to the Policy interface.
 type PolicyFunc func(from netstack.Addr, n int) int

@@ -103,9 +103,9 @@ func TestUDPEchoThroughLynxOnBlueField(t *testing.T) {
 	if med < 10*time.Microsecond || med > 45*time.Microsecond {
 		t.Fatalf("median E2E latency %v, paper measures ~25µs on BlueField", med)
 	}
-	rcv, resp, drop := rt.Stats()
-	if rcv != n || resp != n || drop != 0 {
-		t.Fatalf("stats rcv=%d resp=%d drop=%d", rcv, resp, drop)
+	st := rt.Stats()
+	if st.Received != n || st.Responded != n || st.Dropped() != 0 {
+		t.Fatalf("stats rcv=%d resp=%d drop=%d", st.Received, st.Responded, st.Dropped())
 	}
 }
 
@@ -364,12 +364,64 @@ func TestOverloadDropsAtFullRings(t *testing.T) {
 	})
 	b.tb.Sim.RunUntil(sim.Time(15 * time.Millisecond))
 	b.tb.Sim.Shutdown()
-	_, resp, drop := rt.Stats()
-	if drop == 0 {
+	st := rt.Stats()
+	if st.Dropped() == 0 {
 		t.Fatal("expected drops under 200x overload")
 	}
-	if resp == 0 {
+	if st.Responded == 0 {
 		t.Fatal("server made no progress under overload")
+	}
+}
+
+// Forced mqueue overflow must surface as trace.Drop events with the
+// overflow cause, and the trace ring must stay consistent after wrapping.
+func TestOverflowDropsAreTraced(t *testing.T) {
+	b := newBed(t, 17)
+	plat := b.bf.Platform(7)
+	tr := trace.New(32) // small: guaranteed to wrap under the flood below
+	plat.Tracer = tr
+	rt := core.NewRuntime(plat)
+	h, _ := rt.Register(b.gpu, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 4, SlotSize: 128}, 1)
+	svc, _ := rt.AddService(core.UDP, 7000, nil, 1, h)
+	startEchoTBs(t, b, h, 2*time.Millisecond)
+	rt.Start()
+	cli := b.client.MustUDPBind(9000)
+	b.tb.Sim.Spawn("flood", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			cli.SendTo(svc.Addr(), make([]byte, 64))
+			p.Sleep(10 * time.Microsecond)
+		}
+	})
+	b.tb.Sim.RunUntil(sim.Time(10 * time.Millisecond))
+	b.tb.Sim.Shutdown()
+	st := rt.Stats()
+	if st.DroppedOverflow == 0 {
+		t.Fatalf("no overflow drops under flood: %s", st)
+	}
+	if got := tr.Count(trace.Drop); got != st.DroppedOverflow {
+		t.Fatalf("trace.Drop count %d, stats overflow %d", got, st.DroppedOverflow)
+	}
+	if tr.Total() <= 32 {
+		t.Fatalf("ring never wrapped (total %d)", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 32 {
+		t.Fatalf("retained %d events, want full ring", len(evs))
+	}
+	sawDrop := false
+	for i, ev := range evs {
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Fatal("trace not chronological after wraparound")
+		}
+		if ev.Kind == trace.Drop {
+			sawDrop = true
+			if core.DropCause(ev.Arg1) != core.DropOverflow {
+				t.Fatalf("drop cause %v, want overflow", core.DropCause(ev.Arg1))
+			}
+		}
+	}
+	if !sawDrop {
+		t.Fatal("no Drop event retained in the wrapped ring")
 	}
 }
 

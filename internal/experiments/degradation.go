@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lynx/internal/accel"
+	"lynx/internal/apps/kvstore"
+	"lynx/internal/core"
+	"lynx/internal/fault"
+	"lynx/internal/mqueue"
+	"lynx/internal/workload"
+)
+
+func init() {
+	register("degradation",
+		"graceful degradation: goodput & p99 vs datagram loss, Lynx vs host-centric (fault-injection extension)",
+		degradation)
+}
+
+// degradationPoint runs the kvstore service on one platform under the given
+// datagram loss rate, with loss-aware clients (bounded same-sequence
+// retransmit), and reports the measured result.
+//
+// The Lynx deployment serves GETs from persistent GPU threadblocks through
+// SNIC-managed mqueues; the host-centric baseline is the memcached-style
+// deployment on the Xeon cores. Both see the same client behavior and the
+// same fault plan shape, so the sweep isolates how each architecture's
+// request path degrades as the network loses datagrams.
+func degradationPoint(cfg Config, lynxSide bool, loss float64, window time.Duration) workload.Result {
+	cfg.Faults = fault.Config{Seed: cfg.Seed, DropRate: loss}
+	e := newEnv(cfg)
+	wcfg := workload.Config{
+		Proto: workload.UDP, Payload: 64,
+		Body: func(seq uint64, buf []byte) {
+			copy(buf[workload.SeqBytes:], kvstore.EncodeGet(fmt.Sprintf("key-%03d", seq%512)))
+		},
+		Clients: 8, Duration: window, Warmup: window / 5,
+		// Loss-aware clients: retransmit the same sequence up to 3 times
+		// with exponential backoff before declaring it lost.
+		Timeout: time.Millisecond, Retries: 3,
+	}
+	if lynxSide {
+		const nq = 4
+		rt := core.NewRuntime(e.bf.Platform(7))
+		h, err := rt.Register(e.gpu, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}, nq)
+		if err != nil {
+			panic(err)
+		}
+		svc, err := rt.AddService(core.UDP, 7000, nil, nq, h)
+		if err != nil {
+			panic(err)
+		}
+		store := kvstore.NewStore(16, 0)
+		for i := 0; i < 512; i++ {
+			store.Set(fmt.Sprintf("key-%03d", i), 0, []byte("value-0123456789"))
+		}
+		qs := h.AccelQueues()
+		opCost := e.params.MemcachedOpXeon
+		if err := e.gpu.LaunchPersistent(e.tb.Sim, nq, func(tb *accel.TB) {
+			aq := qs[tb.Index()]
+			for {
+				m := aq.Recv(tb.Proc())
+				if len(m.Payload) < workload.SeqBytes {
+					continue
+				}
+				tb.Compute(opCost)
+				reply := store.ServeRaw(m.Payload[workload.SeqBytes:])
+				out := make([]byte, workload.SeqBytes+len(reply))
+				copy(out, m.Payload[:workload.SeqBytes])
+				copy(out[workload.SeqBytes:], reply)
+				if aq.Send(tb.Proc(), uint16(m.Slot), out) != nil {
+					return
+				}
+			}
+		}); err != nil {
+			panic(err)
+		}
+		if err := rt.Start(); err != nil {
+			panic(err)
+		}
+		wcfg.Target = svc.Addr()
+	} else {
+		store := memcachedInstances(e.tb, e.server.NetHost, e.server.CPU, &e.params, 11211, 6, false, 0, nil)
+		for i := 0; i < 512; i++ {
+			store.Set(fmt.Sprintf("key-%03d", i), 0, []byte("value-0123456789"))
+		}
+		wcfg.Target = e.server.NetHost.Addr(11211)
+	}
+	res := e.measure(wcfg)
+	e.tb.Sim.Shutdown()
+	return res
+}
+
+func degradation(cfg Config) *Report {
+	window := cfg.window(20 * time.Millisecond)
+	losses := []float64{0, 0.001, 0.01, 0.05}
+	r := &Report{
+		ID:      "degradation",
+		Title:   "goodput & tail latency vs datagram loss (retransmitting clients)",
+		Columns: []string{"goodput", "req/s", "p99", "retries"},
+	}
+	for _, lynxSide := range []bool{true, false} {
+		name := platHostCentric
+		if lynxSide {
+			name = platLynxBF
+		}
+		for _, loss := range losses {
+			res := degradationPoint(cfg, lynxSide, loss, window)
+			r.AddRow(fmt.Sprintf("%s @ %.1f%% loss", name, loss*100),
+				fmt.Sprintf("%.3f", res.GoodputFraction()),
+				res.Throughput(), res.Hist.P99(), fmt.Sprint(res.Retries))
+		}
+	}
+	r.Note("goodput = responses/requests with ≤3 same-seq retransmits per request (1ms base timeout, exponential backoff)")
+	r.Note("not in the paper: a robustness extension exercising the fault plane (internal/fault)")
+	return r
+}

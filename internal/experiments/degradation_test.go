@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// Acceptance: the kvstore service under 1% datagram loss keeps goodput at
+// ≥90% of the zero-loss run thanks to client retransmits.
+func TestDegradationGoodput(t *testing.T) {
+	cfg := Config{Seed: 1, Scale: 1}
+	window := 10 * time.Millisecond
+	clean := degradationPoint(cfg, true, 0, window)
+	lossy := degradationPoint(cfg, true, 0.01, window)
+	if clean.GoodputFraction() < 0.99 {
+		t.Fatalf("zero-loss goodput %.3f — the clean run already drops", clean.GoodputFraction())
+	}
+	if g := lossy.GoodputFraction(); g < 0.9*clean.GoodputFraction() {
+		t.Fatalf("1%% loss goodput %.3f, want ≥90%% of clean %.3f", g, clean.GoodputFraction())
+	}
+	if lossy.Retries == 0 {
+		t.Fatal("no retransmits recorded at 1% loss")
+	}
+}
+
+// The degradation experiment itself must be deterministic: same seed and
+// loss rate, identical result.
+func TestDegradationDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 1}
+	a := degradationPoint(cfg, true, 0.01, 5*time.Millisecond)
+	b := degradationPoint(cfg, true, 0.01, 5*time.Millisecond)
+	if a.String() != b.String() {
+		t.Fatalf("nondeterministic degradation point:\n  %s\n  %s", a, b)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"lynx/internal/accel"
 	"lynx/internal/core"
+	"lynx/internal/fault"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
@@ -31,6 +32,9 @@ type Config struct {
 	// Scale multiplies measurement windows (1.0 = standard; tests may use
 	// less, long calibration runs more).
 	Scale float64
+	// Faults, when enabled, applies a deterministic fault-injection plan to
+	// every testbed the experiment builds (degradation experiments).
+	Faults fault.Config
 }
 
 func (c Config) window(d time.Duration) time.Duration {
@@ -221,7 +225,7 @@ func newEnv(cfg Config) *env {
 }
 
 func newEnvWith(cfg Config, p *model.Params) *env {
-	tb := snic.NewTestbed(cfg.Seed+1, p)
+	tb := snic.NewTestbedWith(cfg.Seed+1, p, cfg.Faults)
 	server := tb.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", accel.K40m, false, "server1")

@@ -166,9 +166,9 @@ func extInnovaDuplex(cfg Config) *Report {
 		}, e.clients...)
 		g.Run()
 		var atWarmup uint64
-		e.tb.Sim.After(window/4, func() { _, atWarmup, _ = rt.Stats() })
+		e.tb.Sim.After(window/4, func() { atWarmup = rt.Stats().Responded })
 		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
-		_, responded, _ := rt.Stats()
+		responded := rt.Stats().Responded
 		e.tb.Sim.Shutdown()
 		return float64(responded-atWarmup) / window.Seconds()
 	}()

@@ -196,9 +196,9 @@ func sec62Innova(cfg Config) *Report {
 		}, e.clients...)
 		g.Run()
 		var atWarmup uint64
-		e.tb.Sim.After(window/4, func() { atWarmup, _, _ = rt.Stats() })
+		e.tb.Sim.After(window/4, func() { atWarmup = rt.Stats().Received })
 		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
-		received, _, _ := rt.Stats()
+		received := rt.Stats().Received
 		e.tb.Sim.Shutdown()
 		return float64(received-atWarmup) / window.Seconds()
 	}()

@@ -98,12 +98,12 @@ func extPipeline(cfg Config) *Report {
 					buf := make([]byte, 64)
 					workload.PutSeq(buf, seq)
 					sock.SendTo(svc1.Addr(), buf)
-					dg, ok := sock.RecvTimeout(p, 10*time.Millisecond)
+					dg, ok, _ := sock.RecvTimeout(p, 10*time.Millisecond)
 					if !ok {
 						continue
 					}
 					sock.SendTo(svc2.Addr(), dg.Payload)
-					if _, ok := sock.RecvTimeout(p, 10*time.Millisecond); !ok {
+					if _, ok, _ := sock.RecvTimeout(p, 10*time.Millisecond); !ok {
 						continue
 					}
 					if start >= warmupEnd {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/fault"
 	"lynx/internal/memdev"
 	"lynx/internal/sim"
 )
@@ -67,12 +68,17 @@ func (l *Link) other(n Node) Node {
 
 // Fabric is a PCIe topology.
 type Fabric struct {
-	sim   *sim.Sim
-	nodes map[string]Node
-	paths map[[2]string][]*Link // route cache
+	sim    *sim.Sim
+	nodes  map[string]Node
+	paths  map[[2]string][]*Link // route cache
+	faults *fault.Plan
 
 	transfers uint64
 }
+
+// SetFaults installs a fault plan consulted per transfer. A nil plan (the
+// default) injects nothing.
+func (f *Fabric) SetFaults(pl *fault.Plan) { f.faults = pl }
 
 // New creates an empty fabric.
 func New(s *sim.Sim) *Fabric {
@@ -179,6 +185,9 @@ func (f *Fabric) TransferTime(from, to *Device, size int) time.Duration {
 // downstream hops, modelled as per-hop latency plus per-hop serialization).
 func (f *Fabric) transfer(p *sim.Proc, from, to *Device, size int) {
 	f.transfers++
+	if spike := f.faults.PCIePerturb(); spike > 0 {
+		p.Sleep(spike)
+	}
 	for _, l := range f.route(from, to) {
 		l.busy.Acquire(p)
 		ser := time.Duration(0)

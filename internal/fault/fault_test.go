@@ -1,0 +1,119 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"lynx/internal/sim"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var pl *Plan
+	if pl.Enabled() {
+		t.Fatal("nil plan enabled")
+	}
+	fate, delay := pl.Datagram()
+	if fate != Deliver || delay != 0 {
+		t.Fatalf("nil Datagram = %v %v", fate, delay)
+	}
+	if pl.TCPDelay() != 0 {
+		t.Fatal("nil TCPDelay non-zero")
+	}
+	if extra, errored := pl.RDMAPerturb(); extra != 0 || errored {
+		t.Fatal("nil RDMAPerturb non-zero")
+	}
+	if pl.PCIePerturb() != 0 {
+		t.Fatal("nil PCIePerturb non-zero")
+	}
+	if pl.StallRemaining("gpu0", 0, 0) != 0 {
+		t.Fatal("nil StallRemaining non-zero")
+	}
+	if pl.Stats() != (Stats{}) {
+		t.Fatal("nil Stats non-zero")
+	}
+}
+
+func TestZeroConfigDisabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config enabled")
+	}
+	if !(Config{DropRate: 0.1}).Enabled() {
+		t.Fatal("drop config disabled")
+	}
+	if !(Config{Stalls: []Stall{{Accel: "gpu0"}}}).Enabled() {
+		t.Fatal("stall config disabled")
+	}
+}
+
+// The plan's stream is its own: identical configs draw identical fates.
+func TestDeterministicDraws(t *testing.T) {
+	cfg := Config{Seed: 9, DropRate: 0.1, DupRate: 0.05, DelayRate: 0.2}
+	a, b := NewPlan(cfg), NewPlan(cfg)
+	for i := 0; i < 10000; i++ {
+		fa, da := a.Datagram()
+		fb, db := b.Datagram()
+		if fa != fb || da != db {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, fa, da, fb, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %v vs %v", a.Stats(), b.Stats())
+	}
+}
+
+// Empirical rates must track the configured probabilities.
+func TestDatagramRates(t *testing.T) {
+	pl := NewPlan(Config{Seed: 3, DropRate: 0.1, DupRate: 0.05, DelayRate: 0.2})
+	const n = 200000
+	for i := 0; i < n; i++ {
+		pl.Datagram()
+	}
+	st := pl.Stats()
+	near := func(name string, got uint64, want float64) {
+		frac := float64(got) / n
+		if frac < want*0.9 || frac > want*1.1 {
+			t.Errorf("%s rate %.4f, want ~%.4f", name, frac, want)
+		}
+	}
+	near("drop", st.DatagramsDropped, 0.1)
+	// Dup and delay are drawn only for non-dropped datagrams.
+	near("dup", st.DatagramsDuplicated, 0.05*0.9)
+	near("delay", st.DatagramsDelayed, 0.2*0.9)
+}
+
+func TestStallWindows(t *testing.T) {
+	pl := NewPlan(Config{Stalls: []Stall{
+		{Accel: "gpu0", Queue: 1, At: 10 * time.Millisecond, For: 5 * time.Millisecond},
+		{Accel: "vca0", Queue: -1, At: 0, For: time.Millisecond},
+	}})
+	at := func(d time.Duration) sim.Time { return sim.Time(0).Add(d) }
+	if got := pl.StallRemaining("gpu0", 1, at(12*time.Millisecond)); got != 3*time.Millisecond {
+		t.Fatalf("inside window: %v, want 3ms", got)
+	}
+	if got := pl.StallRemaining("gpu0", 1, at(15*time.Millisecond)); got != 0 {
+		t.Fatalf("window end is exclusive: %v", got)
+	}
+	if got := pl.StallRemaining("gpu0", 0, at(12*time.Millisecond)); got != 0 {
+		t.Fatalf("other queue stalled: %v", got)
+	}
+	if got := pl.StallRemaining("gpu1", 1, at(12*time.Millisecond)); got != 0 {
+		t.Fatalf("other accel stalled: %v", got)
+	}
+	// Queue -1 matches every queue of the accelerator.
+	for q := 0; q < 4; q++ {
+		if got := pl.StallRemaining("vca0", q, at(100*time.Microsecond)); got != 900*time.Microsecond {
+			t.Fatalf("vca queue %d: %v, want 900µs", q, got)
+		}
+	}
+	if pl.Stats().StallHits == 0 {
+		t.Fatal("stall hits not counted")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	cfg := NewPlan(Config{}).Config()
+	if cfg.DelayMax <= 0 || cfg.TCPRetransmit <= 0 || cfg.RDMARetryLatency <= 0 ||
+		cfg.RDMASpike <= 0 || cfg.PCIeSpike <= 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}

@@ -234,6 +234,25 @@ type Params struct {
 	// MetadataBytes is the per-message coalesced control metadata (§5.1:
 	// "the metadata occupies 4 bytes").
 	MetadataBytes int
+
+	// --- Robustness ------------------------------------------------------
+
+	// MQWatchdogTimeout is how long a server mqueue may hold in-flight
+	// messages without the accelerator making progress (no RX consumption,
+	// no TX production) before the MQ-manager watchdog marks it failed and
+	// dispatch fails over to the remaining queues. The queue is restored as
+	// soon as it makes progress again. Must comfortably exceed the longest
+	// per-request accelerator service time (LeNet is ~300 µs). Zero
+	// disables the watchdog.
+	MQWatchdogTimeout time.Duration
+	// ClientRetryTimeout is how long a client-mqueue UDP request to a
+	// backend may stay unanswered before the runtime retransmits it; each
+	// further attempt doubles the wait (exponential backoff).
+	ClientRetryTimeout time.Duration
+	// ClientRetryMax is the number of retransmissions after the original
+	// send before the request is dropped as unanswerable. Zero disables
+	// client-mqueue retransmission.
+	ClientRetryMax int
 }
 
 // Default returns the calibrated parameter set. The returned value may be
@@ -294,6 +313,10 @@ func Default() Params {
 		ForwardCost:    1200 * time.Nanosecond,
 		MQPollInterval: 1 * time.Microsecond,
 		MetadataBytes:  4,
+
+		MQWatchdogTimeout:  5 * time.Millisecond,
+		ClientRetryTimeout: 2 * time.Millisecond,
+		ClientRetryMax:     3,
 	}
 }
 

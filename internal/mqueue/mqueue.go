@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/fault"
 	"lynx/internal/memdev"
 	"lynx/internal/rdma"
 	"lynx/internal/sim"
@@ -332,6 +333,12 @@ func (q *Queue) Poll(p *sim.Proc) (TxMsg, bool) {
 // InFlight reports RX messages pushed but not yet known consumed.
 func (q *Queue) InFlight() int { return int(q.rxHead - q.rxConsumed) }
 
+// Counters returns the accelerator progress counters as last refreshed: RX
+// messages consumed and TX messages produced. The MQ-manager watchdog uses
+// them to detect a stalled accelerator context (in-flight messages with
+// neither counter advancing).
+func (q *Queue) Counters() (rxConsumed, txSeen uint64) { return q.rxConsumed, q.txSeen }
+
 // Stats reports pushes, TX messages drained, and RX-full events.
 func (q *Queue) Stats() (pushed, polled, full uint64) { return q.pushed, q.polled, q.full }
 
@@ -431,6 +438,12 @@ type AccessProfile struct {
 	LocalAccess time.Duration
 	// PollInterval is the doorbell polling period while idle.
 	PollInterval time.Duration
+	// Accel names the accelerator owning the queues, for fault targeting.
+	Accel string
+	// Faults is the fault plan consulted on every ring access; inside a
+	// stall window the accessing context freezes until the window closes.
+	// Nil injects nothing.
+	Faults *fault.Plan
 }
 
 // AccelQueue is the accelerator-side handle: the lightweight I/O layer that
@@ -440,6 +453,7 @@ type AccelQueue struct {
 	region *memdev.Region
 	lay    layout
 	prof   AccessProfile
+	index  int // position within the accelerator's queue group
 
 	rxTail uint64
 	txHead uint64
@@ -485,7 +499,7 @@ func AttachGroup(region *memdev.Region, base int, cfg Config, n int, prof Access
 	ringBase := base + n*QueueHeaderBytes
 	out := make([]*AccelQueue, n)
 	for i := range out {
-		out[i] = &AccelQueue{cfg: cfg, region: region, prof: prof,
+		out[i] = &AccelQueue{cfg: cfg, region: region, prof: prof, index: i,
 			lay: layout{hdr: base + i*QueueHeaderBytes, ring: ringBase + i*cfg.RingBytes()}}
 		out[i].initGates()
 	}
@@ -499,10 +513,24 @@ type Msg struct {
 	Slot    int  // RX slot index, echoed as Corr when responding
 }
 
+// maybeStall freezes the accessing accelerator context for the remainder of
+// any fault-plan stall window covering the current time — the simulated
+// equivalent of a hung threadblock or VCA node. No-op without a plan.
+func (aq *AccelQueue) maybeStall(p *sim.Proc) {
+	for {
+		d := aq.prof.Faults.StallRemaining(aq.prof.Accel, aq.index, p.Now())
+		if d <= 0 {
+			return
+		}
+		p.Sleep(d)
+	}
+}
+
 // TryRecv performs one poll of the next RX slot. It charges one local
 // access; if a message is present it consumes it (two further accesses:
 // payload read and doorbell clear + consumed-counter update).
 func (aq *AccelQueue) TryRecv(p *sim.Proc) (Msg, bool) {
+	aq.maybeStall(p)
 	slot := int(aq.rxTail % uint64(aq.cfg.Slots))
 	off := aq.lay.rxSlot(aq.cfg, slot)
 	p.Sleep(aq.prof.LocalAccess)
@@ -541,19 +569,30 @@ func (aq *AccelQueue) Recv(p *sim.Proc) Msg {
 	}
 }
 
-// RecvTimeout polls until a message arrives or the deadline passes.
-func (aq *AccelQueue) RecvTimeout(p *sim.Proc, d time.Duration) (Msg, bool) {
+// ErrRemote is the error RecvTimeout returns alongside a message whose
+// metadata carries a non-zero SNIC-reported connection error status (§5.1).
+var ErrRemote = errors.New("mqueue: SNIC-reported connection error")
+
+// RecvTimeout polls until a message arrives or the deadline passes,
+// following the (value, ok, err) timeout-receive idiom: ok is false on
+// timeout; err is ErrRemote when the received message's metadata flags a
+// SNIC-reported connection error (the message itself is still returned, with
+// Msg.Err holding the raw status byte).
+func (aq *AccelQueue) RecvTimeout(p *sim.Proc, d time.Duration) (Msg, bool, error) {
 	deadline := p.Now().Add(d)
 	for {
 		v := aq.rxGate.Version()
 		if m, ok := aq.TryRecv(p); ok {
-			return m, true
+			if m.Err != 0 {
+				return m, true, ErrRemote
+			}
+			return m, true, nil
 		}
 		if p.Now() >= deadline {
-			return Msg{}, false
+			return Msg{}, false, nil
 		}
 		if !aq.rxGate.WaitTimeout(p, v, deadline.Sub(p.Now())) {
-			return Msg{}, false
+			return Msg{}, false, nil
 		}
 		p.Sleep(aq.prof.PollInterval / 2)
 	}
@@ -571,6 +610,7 @@ func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatu
 	if len(payload) > aq.cfg.MaxPayload() {
 		return fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), aq.cfg.MaxPayload())
 	}
+	aq.maybeStall(p)
 	// Wait for the SNIC to have freed this slot (polling the SNIC-written
 	// consumed counter; blocked on its write gate in the simulator).
 	for {

@@ -429,7 +429,7 @@ func TestRecvTimeout(t *testing.T) {
 	var waited time.Duration
 	r.s.Spawn("gpu", func(p *sim.Proc) {
 		start := p.Now()
-		_, ok = accQ.RecvTimeout(p, 50*time.Microsecond)
+		_, ok, _ = accQ.RecvTimeout(p, 50*time.Microsecond)
 		waited = p.Now().Sub(start)
 	})
 	r.s.RunUntil(sim.Time(time.Second))

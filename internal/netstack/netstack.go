@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/fault"
 	"lynx/internal/model"
 	"lynx/internal/sim"
 )
@@ -63,12 +64,20 @@ type Network struct {
 	params    *model.Params
 	hosts     map[string]*Host
 	ephemeral uint16
+	faults    *fault.Plan
 }
 
 // New creates an empty network using the wire constants in params.
 func New(s *sim.Sim, p *model.Params) *Network {
 	return &Network{sim: s, params: p, hosts: make(map[string]*Host), ephemeral: 32768}
 }
+
+// SetFaults installs a fault plan consulted per datagram/segment. A nil plan
+// (the default) injects nothing.
+func (n *Network) SetFaults(pl *fault.Plan) { n.faults = pl }
+
+// Faults returns the installed fault plan (possibly nil).
+func (n *Network) Faults() *fault.Plan { return n.faults }
 
 // link is a simplex link modelled with a next-free-time token.
 type link struct {
@@ -146,12 +155,19 @@ func (n *Network) RTT(size int) time.Duration {
 // the MTU fragment: every fragment pays headers and switch processing, and
 // the message arrives when its last fragment does.
 func (n *Network) transmit(src, dst *Host, payload, overhead int, deliver func()) {
+	n.transmitDelayed(src, dst, payload, overhead, 0, deliver)
+}
+
+// transmitDelayed is transmit with an injected in-network delay (fault plan):
+// the message serializes normally but arrives extra later, as if queued
+// behind cross-traffic inside the switch.
+func (n *Network) transmitDelayed(src, dst *Host, payload, overhead int, extra time.Duration, deliver func()) {
 	bytes, frags := wireSize(payload, overhead)
 	now := n.sim.Now()
 	upDone := src.up.reserve(now, bytes)
 	atSwitch := upDone.Add(n.params.WirePropagation + time.Duration(frags)*n.params.SwitchLatency)
 	downDone := dst.down.reserve(atSwitch, bytes)
-	arrival := downDone.Add(n.params.WirePropagation)
+	arrival := downDone.Add(n.params.WirePropagation + extra)
 	n.sim.At(arrival, deliver)
 }
 
@@ -191,16 +207,21 @@ func (h *Host) MustUDPBind(port uint16) *UDPSocket {
 func (s *UDPSocket) Addr() Addr { return s.host.Addr(s.port) }
 
 // SendTo transmits payload to the destination address. Unknown destinations
-// are silently dropped (as on a real network). The payload is copied.
+// are silently dropped (as on a real network). The payload is copied. The
+// network's fault plan, if any, may drop, duplicate or delay the datagram.
 func (s *UDPSocket) SendTo(to Addr, payload []byte) {
 	dst, ok := s.host.net.hosts[to.Host]
 	if !ok {
 		return
 	}
+	fate, extra := s.host.net.faults.Datagram()
+	if fate == fault.Drop {
+		return // lost on the wire
+	}
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	dg := Datagram{From: s.Addr(), To: to, Payload: buf}
-	s.host.net.transmit(s.host, dst, len(payload), udpOverhead, func() {
+	deliver := func() {
 		sock, ok := dst.udp[to.Port]
 		if !ok {
 			return // port unreachable
@@ -208,15 +229,24 @@ func (s *UDPSocket) SendTo(to Addr, payload []byte) {
 		if !sock.rxq.TryPut(dg) {
 			dst.dropped++
 		}
-	})
+	}
+	s.host.net.transmitDelayed(s.host, dst, len(payload), udpOverhead, extra, deliver)
+	if fate == fault.Duplicate {
+		// The copy serializes behind the original on the same links.
+		s.host.net.transmitDelayed(s.host, dst, len(payload), udpOverhead, extra, deliver)
+	}
 }
 
 // Recv blocks until a datagram arrives.
 func (s *UDPSocket) Recv(p *sim.Proc) Datagram { return s.rxq.Get(p) }
 
-// RecvTimeout blocks up to d for a datagram.
-func (s *UDPSocket) RecvTimeout(p *sim.Proc, d time.Duration) (Datagram, bool) {
-	return s.rxq.GetTimeout(p, d)
+// RecvTimeout blocks up to d for a datagram, following the package-wide
+// (value, ok, err) timeout-receive idiom: ok is false on timeout, and err is
+// reserved for socket-level failures (always nil for UDP today — a timed-out
+// or successful receive never sets it).
+func (s *UDPSocket) RecvTimeout(p *sim.Proc, d time.Duration) (Datagram, bool, error) {
+	dg, ok := s.rxq.GetTimeout(p, d)
+	return dg, ok, nil
 }
 
 // TryRecv polls for a datagram without blocking.
@@ -326,7 +356,9 @@ func (c *TCPConn) RemoteAddr() Addr { return c.remote }
 
 // Send transmits one framed message to the peer. Each message also costs an
 // ACK in the reverse direction, which is what makes TCP dearer on the wire
-// as well as on the CPU.
+// as well as on the CPU. Under a fault plan, a "lost" segment manifests as
+// retransmission delay — the reliable transport masks the loss, as real TCP
+// does.
 func (c *TCPConn) Send(p *sim.Proc, msg []byte) error {
 	if c.closed {
 		return ErrConnClosed
@@ -337,7 +369,7 @@ func (c *TCPConn) Send(p *sim.Proc, msg []byte) error {
 	buf := make([]byte, len(msg))
 	copy(buf, msg)
 	peer := c.peer
-	c.net.transmit(c.localHost, c.remoteHost, len(msg), tcpOverhead, func() {
+	c.net.transmitDelayed(c.localHost, c.remoteHost, len(msg), tcpOverhead, c.net.faults.TCPDelay(), func() {
 		if peer.closed || peer.reset {
 			return
 		}

@@ -380,7 +380,7 @@ func TestUDPRecvTimeout(t *testing.T) {
 	sock := h.MustUDPBind(1)
 	var ok bool
 	s.Spawn("x", func(p *sim.Proc) {
-		_, ok = sock.RecvTimeout(p, 20*time.Microsecond)
+		_, ok, _ = sock.RecvTimeout(p, 20*time.Microsecond)
 	})
 	s.Run()
 	if ok {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lynx/internal/fabric"
+	"lynx/internal/fault"
 	"lynx/internal/memdev"
 	"lynx/internal/model"
 	"lynx/internal/sim"
@@ -72,6 +73,7 @@ type CQE struct {
 	Op      OpCode
 	Data    []byte // OpRead result
 	Dropped bool   // UC write discarded for lack of receive credits
+	Retried bool   // completed only after a transport-level retry (fault plan)
 	At      sim.Time
 }
 
@@ -84,9 +86,11 @@ type Engine struct {
 	fab    *fabric.Fabric
 	nic    *fabric.Device
 	pipe   *sim.Resource
+	faults *fault.Plan
 
-	qps uint64
-	ops uint64
+	qps     uint64
+	ops     uint64
+	retried uint64
 }
 
 // NewEngine creates the RDMA engine for the NIC device on fab.
@@ -94,11 +98,19 @@ func NewEngine(s *sim.Sim, p *model.Params, fab *fabric.Fabric, nic *fabric.Devi
 	return &Engine{sim: s, params: p, fab: fab, nic: nic, pipe: sim.NewResource(s, 1)}
 }
 
+// SetFaults installs a fault plan consulted per work request. A nil plan
+// (the default) injects nothing.
+func (e *Engine) SetFaults(pl *fault.Plan) { e.faults = pl }
+
 // NIC returns the device the engine is embedded in.
 func (e *Engine) NIC() *fabric.Device { return e.nic }
 
 // Ops reports the number of work requests executed.
 func (e *Engine) Ops() uint64 { return e.ops }
+
+// Retried reports work requests that completed only after a transport-level
+// retry injected by the fault plan.
+func (e *Engine) Retried() uint64 { return e.retried }
 
 // QP is a queue pair whose remote end is a window into target-device memory.
 type QP struct {
@@ -182,6 +194,14 @@ func (qp *QP) run(p *sim.Proc) {
 		e.pipe.Release()
 		fl := &inflightWR{wr: wr, cqe: CQE{ID: wr.ID, Op: wr.Op}}
 		qp.inflight = append(qp.inflight, fl)
+		// Fault plan: a completion error is retried by the RC transport
+		// (go-back-N), surfacing as extra latency and a flagged CQE; latency
+		// spikes add transit without a retry.
+		perturb, errored := e.faults.RDMAPerturb()
+		if errored {
+			e.retried++
+			fl.cqe.Retried = true
+		}
 		switch wr.Op {
 		case OpWrite:
 			if qp.kind == UC && qp.credits <= 0 {
@@ -193,14 +213,14 @@ func (qp *QP) run(p *sim.Proc) {
 			if qp.kind == UC {
 				qp.credits--
 			}
-			transit := qp.remote + e.fab.TransferTime(e.nic, qp.target, len(wr.Data))
+			transit := qp.remote + e.fab.TransferTime(e.nic, qp.target, len(wr.Data)) + perturb
 			e.sim.After(transit, func() {
 				fl.wr.Region.WriteDMA(fl.wr.Offset, fl.wr.Data)
 				qp.finish(fl)
 			})
 		case OpRead:
 			transit := 2*qp.remote + e.fab.TransferTime(e.nic, qp.target, 32) +
-				e.fab.TransferTime(qp.target, e.nic, wr.Len)
+				e.fab.TransferTime(qp.target, e.nic, wr.Len) + perturb
 			e.sim.After(transit, func() {
 				fl.cqe.Data = fl.wr.Region.ReadDMA(fl.wr.Offset, fl.wr.Len)
 				qp.finish(fl)
@@ -216,6 +236,7 @@ func (qp *QP) run(p *sim.Proc) {
 			if pad := e.params.RDMAReadBarrier - 1500*time.Nanosecond - transit - e.params.RDMAIssue - e.params.RDMAEngine; pad > 0 {
 				transit += pad
 			}
+			transit += perturb
 			e.sim.After(transit, func() {
 				fl.wr.Region.Flush()
 				qp.finish(fl)

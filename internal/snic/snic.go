@@ -16,6 +16,7 @@ import (
 	"lynx/internal/core"
 	"lynx/internal/cpuarch"
 	"lynx/internal/fabric"
+	"lynx/internal/fault"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
@@ -34,19 +35,36 @@ type Testbed struct {
 	// (the same physical SN2100 switch as Net; modelled separately because
 	// client traffic and RDMA use different stacks).
 	IB *fabric.Switch
+	// Faults is the deployment-wide fault plan, consulted by the netstack,
+	// the PCIe fabric, every RDMA engine and every accelerator. Nil (the
+	// default) injects nothing.
+	Faults *fault.Plan
 }
 
-// NewTestbed creates an empty deployment.
+// NewTestbed creates an empty deployment with no fault injection.
 func NewTestbed(seed uint64, p *model.Params) *Testbed {
+	return NewTestbedWith(seed, p, fault.Config{})
+}
+
+// NewTestbedWith creates an empty deployment whose layers consult a fault
+// plan built from fc. The plan draws from its own seeded stream, so enabling
+// faults perturbs nothing else and identical (seed, fc) pairs replay exactly.
+func NewTestbedWith(seed uint64, p *model.Params, fc fault.Config) *Testbed {
 	s := sim.New(sim.Config{Seed: seed})
 	f := fabric.New(s)
-	return &Testbed{
+	tb := &Testbed{
 		Sim:    s,
 		Params: p,
 		Net:    netstack.New(s, p),
 		Fab:    f,
 		IB:     f.AddSwitch("wire-backbone"),
 	}
+	if fc.Enabled() {
+		tb.Faults = fault.NewPlan(fc)
+		tb.Net.SetFaults(tb.Faults)
+		tb.Fab.SetFaults(tb.Faults)
+	}
+	return tb
 }
 
 // Machine is one physical server: Xeon cores, a PCIe switch, a ConnectX NIC
@@ -71,7 +89,7 @@ func (tb *Testbed) NewMachine(name string, cores int) *Machine {
 	nic := tb.Fab.AddDevice(name+"/nic", nil)
 	tb.Fab.Connect(nic, sw, p.PCIeSwitchLatency, p.PCIeBandwidth)
 	tb.Fab.Connect(nic, tb.IB, p.WirePropagation, p.WireBandwidth)
-	return &Machine{
+	m := &Machine{
 		TB:      tb,
 		Name:    name,
 		CPU:     cpuarch.New(tb.Sim, p, name+"/cpu", model.XeonCore, cores),
@@ -81,6 +99,8 @@ func (tb *Testbed) NewMachine(name string, cores int) *Machine {
 		NetHost: tb.Net.AddHost(name),
 		Driver:  accel.NewDriver(tb.Sim, p),
 	}
+	m.RDMA.SetFaults(tb.Faults)
+	return m
 }
 
 // AddGPU attaches a GPU to the machine's PCIe switch. snicHost names the
@@ -88,7 +108,8 @@ func (tb *Testbed) NewMachine(name string, cores int) *Machine {
 // is remote from Lynx's perspective (§5.5) and its QPs carry the network
 // penalty.
 func (m *Machine) AddGPU(name string, gmodel accel.GPUModel, relaxed bool, snicHost string) *accel.GPU {
-	cfg := accel.GPUConfig{Model: gmodel, Relaxed: relaxed, MaxSkew: 10 * time.Microsecond}
+	cfg := accel.GPUConfig{Model: gmodel, Relaxed: relaxed, MaxSkew: 10 * time.Microsecond,
+		Faults: m.TB.Faults}
 	if snicHost != m.Name {
 		cfg.RemoteHost = m.Name
 	}
@@ -101,6 +122,7 @@ func (m *Machine) AddGPU(name string, gmodel accel.GPUModel, relaxed bool, snicH
 // AddVCA attaches an Intel VCA to the machine.
 func (m *Machine) AddVCA(name string) *accel.VCA {
 	v := accel.NewVCA(m.TB.Sim, m.TB.Params, m.TB.Fab, name)
+	v.SetFaults(m.TB.Faults)
 	m.TB.Fab.Connect(v.Device(), m.Switch, m.TB.Params.PCIeSwitchLatency, m.TB.Params.PCIeBandwidth)
 	return v
 }
@@ -133,13 +155,15 @@ func (m *Machine) AttachBlueField(name string) *BlueField {
 	tb.Fab.Connect(nic, bfSwitch, p.PCIeSwitchLatency, p.PCIeBandwidth)
 	tb.Fab.Connect(bfSwitch, m.Switch, p.PCIeLatency, p.PCIeBandwidth)
 	tb.Fab.Connect(nic, tb.IB, p.WirePropagation, p.WireBandwidth)
-	return &BlueField{
+	bf := &BlueField{
 		Host:    m,
 		ARM:     cpuarch.New(tb.Sim, p, name+"/arm", model.ARMCore, 8),
 		NIC:     nic,
 		RDMA:    rdma.NewEngine(tb.Sim, p, tb.Fab, nic),
 		NetHost: tb.Net.AddHost(name),
 	}
+	bf.RDMA.SetFaults(tb.Faults)
+	return bf
 }
 
 // Platform returns a core.Platform running Lynx on the BlueField ARM cores.
@@ -199,13 +223,15 @@ func (m *Machine) AttachInnova(name string) *Innova {
 	nic := tb.Fab.AddDevice(name+"/fpga-nic", nil)
 	tb.Fab.Connect(nic, m.Switch, p.PCIeSwitchLatency, p.PCIeBandwidth)
 	tb.Fab.Connect(nic, tb.IB, p.WirePropagation, p.WireBandwidth)
-	return &Innova{
+	in := &Innova{
 		Host:     m,
 		NIC:      nic,
 		RDMA:     rdma.NewEngine(tb.Sim, p, tb.Fab, nic),
 		NetHost:  tb.Net.AddHost(name),
 		pipeline: sim.NewResource(tb.Sim, 1),
 	}
+	in.RDMA.SetFaults(tb.Faults)
+	return in
 }
 
 // ServeUDP starts the receive-path AFU on a UDP port, steering packets

@@ -35,6 +35,12 @@ const (
 	BackendOut
 	// BackendIn: a backend response was pushed into a client mqueue.
 	BackendIn
+	// Retry: a timed-out request was retransmitted (arg0 = queue index,
+	// arg1 = attempt number).
+	Retry
+	// Failover: the MQ-manager watchdog changed a queue's health (arg0 =
+	// queue index, arg1 = 0 for failover, 1 for failback).
+	Failover
 	numKinds
 )
 
@@ -57,6 +63,10 @@ func (k Kind) String() string {
 		return "backend-out"
 	case BackendIn:
 		return "backend-in"
+	case Retry:
+		return "retry"
+	case Failover:
+		return "failover"
 	default:
 		return "unknown"
 	}

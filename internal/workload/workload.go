@@ -69,6 +69,11 @@ type Config struct {
 	// Timeout for closed-loop responses (lost requests are retried with
 	// a fresh sequence number). Defaults to 10 ms.
 	Timeout time.Duration
+	// Retries bounds same-sequence retransmits of a timed-out closed-loop
+	// UDP request before it is declared lost (0 = no retransmit). Each
+	// retransmit doubles the wait (exponential backoff), so a request can
+	// occupy its client for up to Timeout * (2^(Retries+1)-1).
+	Retries int
 	// BasePort is the first client-side UDP port (default 20000). Give
 	// each concurrently running generator its own range.
 	BasePort uint16
@@ -79,11 +84,14 @@ type Result struct {
 	Sent     uint64
 	Received uint64
 	Lost     uint64
-	Hist     *metrics.Histogram
-	Window   time.Duration
+	// Retries counts same-sequence retransmits issued in the window.
+	Retries uint64
+	Hist    *metrics.Histogram
+	Window  time.Duration
 }
 
-// Throughput reports measured responses per second.
+// Throughput reports measured responses per second (the goodput: only
+// requests that produced a response count).
 func (r Result) Throughput() float64 {
 	if r.Window <= 0 {
 		return 0
@@ -91,10 +99,28 @@ func (r Result) Throughput() float64 {
 	return float64(r.Received) / r.Window.Seconds()
 }
 
+// Offered reports distinct requests issued per second (retransmits of the
+// same sequence are not re-counted). Goodput/Offered is the fraction of the
+// offered load the server actually absorbed.
+func (r Result) Offered() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Sent) / r.Window.Seconds()
+}
+
+// GoodputFraction reports Received/Sent, the per-request success rate.
+func (r Result) GoodputFraction() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Received) / float64(r.Sent)
+}
+
 // String summarizes the result.
 func (r Result) String() string {
-	return fmt.Sprintf("%.0f req/s (n=%d lost=%d p50=%v p90=%v p99=%v)",
-		r.Throughput(), r.Received, r.Lost, r.Hist.Median(), r.Hist.P90(), r.Hist.P99())
+	return fmt.Sprintf("%.0f req/s (n=%d lost=%d retries=%d p50=%v p90=%v p99=%v)",
+		r.Throughput(), r.Received, r.Lost, r.Retries, r.Hist.Median(), r.Hist.P90(), r.Hist.P99())
 }
 
 // Generator drives load from one or more client hosts.
@@ -227,15 +253,36 @@ func (g *Generator) runUDP() {
 				buf, seq := g.request()
 				g.inflight[seq] = p.Now()
 				sock.SendTo(g.cfg.Target, buf)
-				dg, ok := sock.RecvTimeout(p, g.cfg.Timeout)
-				if !ok {
-					delete(g.inflight, seq)
-					if g.measuring {
-						g.result.Lost++
+				timeout := g.cfg.Timeout
+				attempts := 0
+				for {
+					dg, ok, _ := sock.RecvTimeout(p, timeout)
+					if ok {
+						g.record(dg.Payload, p.Now())
+						if rseq, rok := Seq(dg.Payload); rok && rseq == seq {
+							break
+						}
+						// A stale response to an earlier retransmitted
+						// request; keep waiting for the current one.
+						continue
 					}
-					continue
+					if attempts >= g.cfg.Retries {
+						delete(g.inflight, seq)
+						if g.measuring {
+							g.result.Lost++
+						}
+						break
+					}
+					// Retransmit the same sequence with doubled patience;
+					// record() matches whichever copy answers first and
+					// charges latency from the original send.
+					attempts++
+					if g.measuring {
+						g.result.Retries++
+					}
+					sock.SendTo(g.cfg.Target, buf)
+					timeout <<= 1
 				}
-				g.record(dg.Payload, p.Now())
 			}
 		})
 	}

@@ -21,6 +21,7 @@ import (
 
 	"lynx/internal/accel"
 	"lynx/internal/core"
+	"lynx/internal/fault"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
@@ -79,6 +80,17 @@ type (
 	LoadConfig = workload.Config
 	// LoadResult summarizes a load run.
 	LoadResult = workload.Result
+	// Stats is a Server's counter snapshot (requests by outcome, drops by
+	// cause, retries, failovers).
+	Stats = core.Stats
+	// FaultConfig declares a deterministic fault-injection plan for a
+	// cluster (datagram loss, RDMA/PCIe perturbation, accelerator stalls).
+	FaultConfig = fault.Config
+	// FaultStall pins one accelerator queue stall window inside a
+	// FaultConfig.
+	FaultStall = fault.Stall
+	// FaultStats counts the faults a cluster's plan actually injected.
+	FaultStats = fault.Stats
 )
 
 // Protocols and queue kinds.
@@ -97,18 +109,70 @@ const (
 // modify before NewCluster).
 func DefaultParams() Params { return model.Default() }
 
-// NewCluster creates an empty simulated deployment with the given seed and
-// parameters (nil for defaults).
-func NewCluster(seed uint64, p *Params) *Cluster {
-	if p == nil {
-		def := model.Default()
-		p = &def
+// Option configures a Cluster at construction time.
+type Option func(*clusterConfig)
+
+type clusterConfig struct {
+	seed   uint64
+	params *Params
+	faults FaultConfig
+}
+
+// WithSeed sets the simulation seed. Identical seeds (and options) produce
+// byte-identical runs; the default is 1.
+func WithSeed(seed uint64) Option {
+	return func(c *clusterConfig) { c.seed = seed }
+}
+
+// WithParams overrides the calibrated model constants. The struct is used
+// as-is (not copied); nil restores the defaults.
+func WithParams(p *Params) Option {
+	return func(c *clusterConfig) { c.params = p }
+}
+
+// WithFaults installs a deterministic fault-injection plan: every machine,
+// SmartNIC and accelerator attached to the cluster afterwards is subject to
+// it. The plan draws from its own seeded stream, so adding faults never
+// perturbs the rest of the simulation, and the same (seed, FaultConfig)
+// pair replays the exact same fault sequence.
+func WithFaults(fc FaultConfig) Option {
+	return func(c *clusterConfig) { c.faults = fc }
+}
+
+// NewCluster creates an empty simulated deployment.
+//
+//	cluster := lynx.NewCluster(
+//		lynx.WithSeed(42),
+//		lynx.WithFaults(lynx.FaultConfig{DropRate: 0.01}),
+//	)
+//
+// All blocking receives with deadlines across the API follow one idiom:
+// they return (value, ok, err) where ok reports whether a value arrived
+// before the timeout and err carries transport-level failures (closed
+// connections, SNIC-reported backend errors); err is only meaningful when
+// ok is true (except for closed endpoints, which report err with ok
+// false).
+func NewCluster(opts ...Option) *Cluster {
+	cfg := clusterConfig{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return &Cluster{tb: snic.NewTestbed(seed, p), params: p}
+	if cfg.params == nil {
+		def := model.Default()
+		cfg.params = &def
+	}
+	return &Cluster{
+		tb:     snic.NewTestbedWith(cfg.seed, cfg.params, cfg.faults),
+		params: cfg.params,
+	}
 }
 
 // Params returns the cluster's model constants.
 func (c *Cluster) Params() *Params { return c.params }
+
+// FaultStats reports how many faults the cluster's plan has injected so
+// far (zero value when no WithFaults option was given).
+func (c *Cluster) FaultStats() FaultStats { return c.tb.Faults.Stats() }
 
 // NewMachine adds a server machine with the given Xeon core count.
 func (c *Cluster) NewMachine(name string, cores int) *Machine {

@@ -12,7 +12,7 @@ import (
 // TestPublicAPIEndToEnd drives the whole public surface: cluster building,
 // server registration, accelerator-side code, load generation.
 func TestPublicAPIEndToEnd(t *testing.T) {
-	cluster := lynx.NewCluster(7, nil)
+	cluster := lynx.NewCluster(lynx.WithSeed(7))
 	defer cluster.Close()
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
@@ -54,8 +54,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if res.Hist.Median() < 20*time.Microsecond || res.Hist.Median() > 500*time.Microsecond {
 		t.Fatalf("median latency %v implausible", res.Hist.Median())
 	}
-	rcv, resp, _ := srv.Stats()
-	if rcv == 0 || resp == 0 {
+	st := srv.Stats()
+	if st.Received == 0 || st.Responded == 0 {
 		t.Fatal("server stats empty")
 	}
 }
@@ -69,7 +69,7 @@ func TestDefaultParamsCopy(t *testing.T) {
 }
 
 func TestClusterClockControls(t *testing.T) {
-	cluster := lynx.NewCluster(1, nil)
+	cluster := lynx.NewCluster()
 	defer cluster.Close()
 	fired := false
 	cluster.After(5*time.Millisecond, func() { fired = true })
@@ -98,7 +98,7 @@ func TestClusterClockControls(t *testing.T) {
 // Determinism across the public API: identical seeds give identical results.
 func TestDeterminism(t *testing.T) {
 	run := func() string {
-		cluster := lynx.NewCluster(99, nil)
+		cluster := lynx.NewCluster(lynx.WithSeed(99))
 		defer cluster.Close()
 		server := cluster.NewMachine("server1", 6)
 		bf := server.AttachBlueField("bf1")

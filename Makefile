@@ -12,8 +12,11 @@ test:
 vet:
 	gofmt -l . && $(GO) vet ./...
 
+# Benchmark with -count=5 so runs can be compared statistically:
+#   make bench | tee old.txt ; <hack> ; make bench | tee new.txt
+#   benchstat old.txt new.txt
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -count=5 ./...
 
 # Regenerate every table and figure of the paper's evaluation.
 eval:

@@ -147,6 +147,30 @@ func BenchmarkAblateQPShare(b *testing.B) {
 	runExperiment(b, "ablate-qp-share", "", "", "")
 }
 
+// --- Macro benchmark: the whole evaluation, sequential vs parallel ---
+
+// BenchmarkFullEval regenerates a scaled-down copy of every experiment per
+// iteration — the end-to-end number that the sweep worker pool and the DES
+// hot-path work target. The sequential/parallel pair quantifies the sweep
+// scheduler's speedup on this machine (they are identical by construction on
+// a single-core runner).
+func BenchmarkFullEval(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			for _, id := range experiments.List() {
+				if _, err := experiments.Run(id, experiments.Config{
+					Seed: uint64(i + 1), Scale: 0.1, Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, experiments.AutoWorkers) })
+}
+
 // --- Substrate micro-benchmarks (real CPU work, not simulation) ---
 
 func BenchmarkLeNetInference(b *testing.B) {

@@ -7,16 +7,21 @@
 //	lynxbench -exp all              # run everything
 //	lynxbench -exp fig6 -scale 0.5  # shorter measurement windows
 //	lynxbench -seed 7               # different deterministic seed
+//	lynxbench -exp all -parallel 1  # force sequential sweeps
 //
 // Output is a text table per experiment, with the paper's numbers alongside
-// the measured ones. Runs are bit-reproducible for a given seed and scale.
+// the measured ones. Runs are bit-reproducible for a given seed and scale:
+// independent sweep points fan out across workers (one simulation per
+// worker), but results are collected by index, so the report does not depend
+// on -parallel.
 package main
 
 import (
-	csvpkg "encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lynx/internal/experiments"
@@ -25,12 +30,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list available experiments")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		scale = flag.Float64("scale", 1.0, "measurement window scale factor")
-		csv   = flag.Bool("csv", false, "emit CSV instead of text tables")
-		loss  = flag.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
+		exp        = flag.String("exp", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list available experiments")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		scale      = flag.Float64("scale", 1.0, "measurement window scale factor")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		loss       = flag.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
+		parallel   = flag.Int("parallel", 0, "sweep workers: 0 = one per CPU, 1 = sequential, n = n workers")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -45,11 +53,29 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lynxbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lynxbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.List()
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	workers := *parallel
+	if workers <= 0 {
+		workers = experiments.AutoWorkers
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers}
 	if *loss > 0 {
 		cfg.Faults = fault.Config{Seed: *seed, DropRate: *loss}
 	}
@@ -61,26 +87,24 @@ func main() {
 			os.Exit(1)
 		}
 		if *csv {
-			writeCSV(report)
+			fmt.Print(report.CSV())
 			continue
 		}
 		fmt.Println(report)
 		fmt.Printf("  (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	}
-}
 
-// writeCSV emits one experiment as CSV rows (experiment, row, column, value)
-// for plotting pipelines.
-func writeCSV(r *experiments.Report) {
-	w := csvpkg.NewWriter(os.Stdout)
-	defer w.Flush()
-	for _, row := range r.Rows {
-		for i, cell := range row.Cells {
-			col := ""
-			if i < len(r.Columns) {
-				col = r.Columns[i]
-			}
-			w.Write([]string{r.ID, row.Name, col, cell})
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lynxbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lynxbench:", err)
+			os.Exit(1)
 		}
 	}
 }

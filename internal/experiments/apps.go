@@ -178,12 +178,21 @@ func fig9(cfg Config) *Report {
 		return out
 	}
 
-	rows := []outcome{
-		run("5 cores", 5, false, false, false),
-		run("5 cores + BF (tput opt)", 5, true, true, true),
-		run("5 cores + BF (latency opt)", 5, true, false, true),
-		run("6 cores", 6, false, false, false),
+	specs := []struct {
+		name                                   string
+		hostCores                              int
+		bfMemcached, bfBatched, lynxOnHostCore bool
+	}{
+		{"5 cores", 5, false, false, false},
+		{"5 cores + BF (tput opt)", 5, true, true, true},
+		{"5 cores + BF (latency opt)", 5, true, false, true},
+		{"6 cores", 6, false, false, false},
 	}
+	rows := make([]outcome, len(specs))
+	cfg.sweep(len(specs), func(i int) {
+		s := specs[i]
+		rows[i] = run(s.name, s.hostCores, s.bfMemcached, s.bfBatched, s.lynxOnHostCore)
+	})
 	r := &Report{
 		ID:      "fig9",
 		Title:   "memcached throughput/latency across placements (Fig. 9)",
@@ -320,10 +329,12 @@ func sec64FaceVerify(cfg Config) *Report {
 			panic(err)
 		}
 		rt.Start()
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: svc.Addr(), Payload: fvReqBytes,
 			Body: fvBody, Clients: 2 * nTB, Duration: window, Warmup: window / 5,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 
 	hostRun := func() workload.Result {
@@ -376,15 +387,22 @@ func sec64FaceVerify(cfg Config) *Report {
 		if err := sv.Start(); err != nil {
 			panic(err)
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: fvReqBytes,
 			Body: fvBody, Clients: 2 * nTB, Duration: window, Warmup: window / 5,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 
-	hc := hostRun()
-	bf := lynxRun(platLynxBF)
-	xeon := lynxRun(platLynx6Xeon)
+	runs := []func() workload.Result{
+		hostRun,
+		func() workload.Result { return lynxRun(platLynxBF) },
+		func() workload.Result { return lynxRun(platLynx6Xeon) },
+	}
+	results := make([]workload.Result, len(runs))
+	cfg.sweep(len(runs), func(i int) { results[i] = runs[i]() })
+	hc, bf, xeon := results[0], results[1], results[2]
 	r := &Report{
 		ID:      "sec64-faceverify",
 		Title:   "Face Verification server: GPU frontend + memcached backend (§6.4)",
@@ -459,11 +477,13 @@ func sec62VCA(cfg Config) *Report {
 			}
 		})
 		rt.Start()
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: svc.Addr(), Payload: vcaPayload,
 			Body: mkBody(cipher), Clients: 1, RatePerSec: 1000, Poisson: true,
 			Duration: window, Warmup: window / 5,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 
 	// Baseline: the Intel-preferred host network bridge into the VCA node's
@@ -494,15 +514,24 @@ func sec62VCA(cfg Config) *Report {
 				}
 			})
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: vcaPayload,
 			Body: mkBody(cipher), Clients: 1, RatePerSec: 1000, Poisson: true,
 			Duration: window, Warmup: window / 5,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 
-	lynx := lynxRun()
-	base := baselineRun()
+	results := make([]workload.Result, 2)
+	cfg.sweep(2, func(i int) {
+		if i == 0 {
+			results[i] = lynxRun()
+		} else {
+			results[i] = baselineRun()
+		}
+	})
+	lynx, base := results[0], results[1]
 	r := &Report{
 		ID:      "sec62-vca",
 		Title:   "SGX secure multiply on Intel VCA at 1K req/s (§6.2)",

@@ -100,17 +100,29 @@ func degradation(cfg Config) *Report {
 		Title:   "goodput & tail latency vs datagram loss (retransmitting clients)",
 		Columns: []string{"goodput", "req/s", "p99", "retries"},
 	}
+	type point struct {
+		lynxSide bool
+		loss     float64
+	}
+	var points []point
 	for _, lynxSide := range []bool{true, false} {
+		for _, loss := range losses {
+			points = append(points, point{lynxSide, loss})
+		}
+	}
+	results := make([]workload.Result, len(points))
+	cfg.sweep(len(points), func(i int) {
+		results[i] = degradationPoint(cfg, points[i].lynxSide, points[i].loss, window)
+	})
+	for i, pt := range points {
 		name := platHostCentric
-		if lynxSide {
+		if pt.lynxSide {
 			name = platLynxBF
 		}
-		for _, loss := range losses {
-			res := degradationPoint(cfg, lynxSide, loss, window)
-			r.AddRow(fmt.Sprintf("%s @ %.1f%% loss", name, loss*100),
-				fmt.Sprintf("%.3f", res.GoodputFraction()),
-				res.Throughput(), res.Hist.P99(), fmt.Sprint(res.Retries))
-		}
+		res := results[i]
+		r.AddRow(fmt.Sprintf("%s @ %.1f%% loss", name, pt.loss*100),
+			fmt.Sprintf("%.3f", res.GoodputFraction()),
+			res.Throughput(), res.Hist.P99(), fmt.Sprint(res.Retries))
 	}
 	r.Note("goodput = responses/requests with ≤3 same-seq retransmits per request (1ms base timeout, exponential backoff)")
 	r.Note("not in the paper: a robustness extension exercising the fault plane (internal/fault)")

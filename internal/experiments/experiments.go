@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,6 +36,12 @@ type Config struct {
 	// Faults, when enabled, applies a deterministic fault-injection plan to
 	// every testbed the experiment builds (degradation experiments).
 	Faults fault.Config
+	// Workers bounds how many independent sweep points run concurrently,
+	// each on its own Sim. 0 or 1 runs sequentially; AutoWorkers (-1) uses
+	// one worker per CPU. Reports are byte-identical regardless of the
+	// setting: results are collected by sweep index, and every point is
+	// deterministic given (Seed, Scale).
+	Workers int
 }
 
 func (c Config) window(d time.Duration) time.Duration {
@@ -142,6 +149,24 @@ func (r *Report) String() string {
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)
 	}
+	return b.String()
+}
+
+// CSV renders the report as (experiment, row, column, value) records for
+// plotting pipelines — the same encoding cmd/lynxbench emits with -csv.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	for _, row := range r.Rows {
+		for i, cell := range row.Cells {
+			col := ""
+			if i < len(r.Columns) {
+				col = r.Columns[i]
+			}
+			w.Write([]string{r.ID, row.Name, col, cell})
+		}
+	}
+	w.Flush()
 	return b.String()
 }
 

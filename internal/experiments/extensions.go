@@ -28,7 +28,7 @@ func extIntegratedNIC(cfg Config) *Report {
 
 	// Self-hosted: the accelerator's own 2-core scalar complex runs the
 	// TCP stack; compute units do the application work.
-	selfHosted := func() workload.Result {
+	runSelfHosted := func() workload.Result {
 		e := newEnv(cfg)
 		accMachine := e.tb.NewMachine("goya1", 6)
 		// The accelerator's scalar complex: two wimpy (ARM-class) cores.
@@ -55,17 +55,19 @@ func extIntegratedNIC(cfg Config) *Report {
 				})
 			}
 		})
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.TCP, Target: accMachine.NetHost.Addr(7000), Payload: 64,
 			Clients: 3 * units, Duration: window, Warmup: window / 5,
 			Timeout: 200 * time.Millisecond,
 		})
-	}()
+		e.tb.Sim.Shutdown()
+		return res
+	}
 
 	// Lynx-managed: the SNIC terminates TCP; the accelerator behaves like a
 	// remote accelerator reached through its integrated RDMA NIC (§4.5:
 	// "in a way similar to how it manages remote accelerators").
-	lynxManaged := func() workload.Result {
+	runLynxManaged := func() workload.Result {
 		e := newEnv(cfg)
 		accHost := e.tb.NewMachine("goya1", 6)
 		acc := accHost.AddGPU("goya-accel", accel.K40m, false, "server1")
@@ -92,12 +94,24 @@ func extIntegratedNIC(cfg Config) *Report {
 			panic(err)
 		}
 		rt.Start()
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.TCP, Target: svc.Addr(), Payload: 64,
 			Clients: 3 * units, Duration: window, Warmup: window / 5,
 			Timeout: 200 * time.Millisecond,
 		})
-	}()
+		e.tb.Sim.Shutdown()
+		return res
+	}
+
+	results := make([]workload.Result, 2)
+	cfg.sweep(2, func(i int) {
+		if i == 0 {
+			results[i] = runSelfHosted()
+		} else {
+			results[i] = runLynxManaged()
+		}
+	})
+	selfHosted, lynxManaged := results[0], results[1]
 
 	r := &Report{
 		ID:      "ext-integrated-nic",
@@ -127,7 +141,7 @@ func init() {
 func extInnovaDuplex(cfg Config) *Report {
 	window := cfg.window(8 * time.Millisecond)
 	const nq = 240
-	innova := func() float64 {
+	runInnova := func() float64 {
 		e := newEnv(cfg)
 		in := e.server.AttachInnova("innova1")
 		qs, err := in.ServeUDPFullDuplex(7000, e.gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nq)
@@ -156,8 +170,8 @@ func extInnovaDuplex(cfg Config) *Report {
 		sent := in.Sent()
 		e.tb.Sim.Shutdown()
 		return float64(sent-atWarmup) / window.Seconds()
-	}()
-	bluefield := func() float64 {
+	}
+	runBluefield := func() float64 {
 		e := newEnv(cfg)
 		target, rt := e.echoDeployment(e.bf.Platform(7), nq, 0, 128)
 		g := workload.New(e.tb.Sim, workload.Config{
@@ -171,7 +185,16 @@ func extInnovaDuplex(cfg Config) *Report {
 		responded := rt.Stats().Responded
 		e.tb.Sim.Shutdown()
 		return float64(responded-atWarmup) / window.Seconds()
-	}()
+	}
+	vals := make([]float64, 2)
+	cfg.sweep(2, func(i int) {
+		if i == 0 {
+			vals[i] = runInnova()
+		} else {
+			vals[i] = runBluefield()
+		}
+	})
+	innova, bluefield := vals[0], vals[1]
 	r := &Report{
 		ID:      "ext-innova-duplex",
 		Title:   "Full-duplex echo through the FPGA AFU vs BlueField (extension of §5.2/§6.2)",

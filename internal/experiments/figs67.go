@@ -59,6 +59,7 @@ func fig6Throughput(cfg Config, platform string, reqTime time.Duration, nMQ int)
 			Clients: hcClients, Duration: window, Warmup: window / 4,
 			Timeout: 500 * time.Millisecond,
 		})
+		e.tb.Sim.Shutdown()
 		return res.Throughput()
 	}
 	target, _ := e.echoDeployment(e.lynxPlatform(platform), nMQ, reqTime, 128)
@@ -67,6 +68,7 @@ func fig6Throughput(cfg Config, platform string, reqTime time.Duration, nMQ int)
 		Clients: clients, Duration: window, Warmup: window / 4,
 		Timeout: 500 * time.Millisecond,
 	})
+	e.tb.Sim.Shutdown()
 	return res.Throughput()
 }
 
@@ -79,19 +81,38 @@ func fig6(cfg Config) *Report {
 	for _, n := range fig6MQCounts {
 		r.Columns = append(r.Columns, fmt.Sprintf("%dmq", n))
 	}
+	// Every (request time, platform, mqueue count) cell is an independent
+	// testbed: enumerate them, fan out, and assemble rows by index so the
+	// table is byte-identical to a sequential run.
+	type point struct {
+		rt   time.Duration
+		plat string
+		n    int
+	}
+	var points []point
 	for _, rt := range fig6ReqTimes {
-		base := make([]float64, len(fig6MQCounts))
-		for i, n := range fig6MQCounts {
-			base[i] = fig6Throughput(cfg, platHostCentric, rt, n)
+		for _, plat := range platforms {
+			for _, n := range fig6MQCounts {
+				points = append(points, point{rt, plat, n})
+			}
 		}
+	}
+	vals := make([]float64, len(points))
+	cfg.sweep(len(points), func(i int) {
+		p := points[i]
+		vals[i] = fig6Throughput(cfg, p.plat, p.rt, p.n)
+	})
+	val := make(map[point]float64, len(points))
+	for i, p := range points {
+		val[p] = vals[i]
+	}
+	for _, rt := range fig6ReqTimes {
 		for _, plat := range platforms {
 			cells := make([]any, len(fig6MQCounts))
 			for i, n := range fig6MQCounts {
-				v := base[i]
-				if plat != platHostCentric {
-					v = fig6Throughput(cfg, plat, rt, n)
-				}
-				cells[i] = fmt.Sprintf("%s (%sx)", fmtFloat(v), fmtFloat(speedup(v, base[i])))
+				v := val[point{rt, plat, n}]
+				base := val[point{rt, platHostCentric, n}]
+				cells[i] = fmt.Sprintf("%s (%sx)", fmtFloat(v), fmtFloat(speedup(v, base)))
 			}
 			r.AddRow(fmt.Sprintf("%v %s", rt, plat), cells...)
 		}
@@ -119,6 +140,7 @@ func fig7(cfg Config) *Report {
 			Clients: 1, Duration: time.Duration(reqs) * (reqTime + 100*time.Microsecond),
 			Warmup: 2 * (reqTime + 100*time.Microsecond),
 		})
+		e.tb.Sim.Shutdown()
 		return res.Hist.Median()
 	}
 	r := &Report{
@@ -126,11 +148,35 @@ func fig7(cfg Config) *Report {
 		Title:   "Latency slowdown: Lynx on BlueField vs Lynx on 6 Xeon cores (Fig. 7)",
 		Columns: []string{"1mq", "120mq", "240mq"},
 	}
+	mqCounts := []int{1, 120, 240}
+	plats := []string{platLynxBF, platLynx6Xeon}
+	type point struct {
+		rt   time.Duration
+		n    int
+		plat string
+	}
+	var points []point
 	for _, rt := range reqTimes {
-		cells := make([]any, 0, 3)
-		for _, n := range []int{1, 120, 240} {
-			bf := measure(platLynxBF, rt, n)
-			xeon := measure(platLynx6Xeon, rt, n)
+		for _, n := range mqCounts {
+			for _, plat := range plats {
+				points = append(points, point{rt, n, plat})
+			}
+		}
+	}
+	meds := make([]time.Duration, len(points))
+	cfg.sweep(len(points), func(i int) {
+		p := points[i]
+		meds[i] = measure(p.plat, p.rt, p.n)
+	})
+	med := make(map[point]time.Duration, len(points))
+	for i, p := range points {
+		med[p] = meds[i]
+	}
+	for _, rt := range reqTimes {
+		cells := make([]any, 0, len(mqCounts))
+		for _, n := range mqCounts {
+			bf := med[point{rt, n, platLynxBF}]
+			xeon := med[point{rt, n, platLynx6Xeon}]
 			cells = append(cells, fmt.Sprintf("%sx (%v vs %v)", fmtFloat(float64(bf)/float64(xeon)), bf, xeon))
 		}
 		r.AddRow(rt.String(), cells...)
@@ -156,7 +202,7 @@ func sec62Innova(cfg Config) *Report {
 		})
 	}
 	// Innova.
-	innovaRate := func() float64 {
+	runInnova := func() float64 {
 		e := newEnv(cfg)
 		in := e.server.AttachInnova("innova1")
 		qs, err := in.ServeUDP(7000, e.gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nMQ)
@@ -175,10 +221,10 @@ func sec62Innova(cfg Config) *Report {
 		total, _ := in.Stats()
 		e.tb.Sim.Shutdown()
 		return float64(total-atWarmup) / window.Seconds()
-	}()
+	}
 
 	// BlueField: same receive-only accelerator behind the Lynx runtime.
-	bfRate := func() float64 {
+	runBF := func() float64 {
 		e := newEnv(cfg)
 		rt := core.NewRuntime(e.bf.Platform(7))
 		h, err := rt.Register(e.gpu, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}, nMQ)
@@ -201,12 +247,12 @@ func sec62Innova(cfg Config) *Report {
 		received := rt.Stats().Received
 		e.tb.Sim.Shutdown()
 		return float64(received-atWarmup) / window.Seconds()
-	}()
+	}
 
 	// Host-centric RX-only: the CPU receives each packet and delivers it to
 	// the GPU with one cudaMemcpyAsync (no kernel per packet); the driver
 	// setup cost dominates.
-	hcRate := func() float64 {
+	runHC := func() float64 {
 		e := newEnv(cfg)
 		sock := e.server.NetHost.MustUDPBind(7000)
 		delivered := 0
@@ -231,7 +277,12 @@ func sec62Innova(cfg Config) *Report {
 		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
 		e.tb.Sim.Shutdown()
 		return float64(delivered-atWarmup) / window.Seconds()
-	}()
+	}
+
+	runs := []func() float64{runInnova, runBF, runHC}
+	rates := make([]float64, len(runs))
+	cfg.sweep(len(runs), func(i int) { rates[i] = runs[i]() })
+	innovaRate, bfRate, hcRate := rates[0], rates[1], rates[2]
 
 	r := &Report{
 		ID:      "sec62-innova",
@@ -256,10 +307,12 @@ func sec62Isolation(cfg Config) *Report {
 		window := cfg.window(60 * time.Millisecond)
 		if useLynxBF {
 			target, _ := e.echoDeployment(e.bf.Platform(7), 4, 50*time.Microsecond, 1100)
-			return e.measure(workload.Config{
+			res := e.measure(workload.Config{
 				Proto: workload.UDP, Target: target, Payload: 4 * 256,
 				Clients: 4, Duration: window, Warmup: 2 * time.Millisecond,
 			})
+			e.tb.Sim.Shutdown()
+			return res
 		}
 		sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
 			Port: 7000, Streams: 4, Cores: 1, Bypass: true, KernelTime: 50 * time.Microsecond,
@@ -267,15 +320,18 @@ func sec62Isolation(cfg Config) *Report {
 		if err := sv.Start(); err != nil {
 			panic(err)
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: 4 * 256,
 			Clients: 4, Duration: window, Warmup: 2 * time.Millisecond,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
-	bfQuiet := run(true, false)
-	bfNoisy := run(true, true)
-	hcQuiet := run(false, false)
-	hcNoisy := run(false, true)
+	type point struct{ lynx, noisy bool }
+	points := []point{{true, false}, {true, true}, {false, false}, {false, true}}
+	results := make([]workload.Result, len(points))
+	cfg.sweep(len(points), func(i int) { results[i] = run(points[i].lynx, points[i].noisy) })
+	bfQuiet, bfNoisy, hcQuiet, hcNoisy := results[0], results[1], results[2], results[3]
 	r := &Report{
 		ID:      "sec62-isolation",
 		Title:   "Performance isolation under a noisy neighbor (§6.2 / §3.2)",

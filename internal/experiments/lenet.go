@@ -100,33 +100,47 @@ func fig8a(cfg Config) *Report {
 			if err := sv.Start(); err != nil {
 				panic(err)
 			}
-			return e.measure(workload.Config{
+			res := e.measure(workload.Config{
 				Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: lenetPayload,
 				Body: lenetBody(net), Clients: clients, Duration: window, Warmup: window / 6,
 			})
+			e.tb.Sim.Shutdown()
+			return res
 		}
 		rt := core.NewRuntime(e.lynxPlatform(platform))
 		target := deployLynxLeNet(e, rt, e.gpu, net, 7000, core.UDP)
 		if err := rt.Start(); err != nil {
 			panic(err)
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: target, Payload: lenetPayload,
 			Body: lenetBody(net), Clients: clients, Duration: window, Warmup: window / 6,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 	r := &Report{
 		ID:      "fig8a",
 		Title:   "LeNet digit recognition service, UDP (Fig. 8a)",
 		Columns: []string{"req/s", "p90 low-load", "p99 low-load", "paper req/s", "paper p90"},
 	}
-	for _, row := range []struct{ plat, paperTput, paperP90 string }{
+	rows := []struct{ plat, paperTput, paperP90 string }{
 		{platHostCentric, "2.8K", "~340µs"},
 		{platLynxBF, "3.5K", "300µs"},
 		{platLynx1Xeon, "3.5K", "295µs"},
-	} {
-		sat := run(row.plat, 3)     // saturation throughput
-		lowLoad := run(row.plat, 1) // per-request latency
+	}
+	// Per platform: a saturation run (3 clients) and a low-load latency run
+	// (1 client) — all independent testbeds.
+	results := make([]workload.Result, 2*len(rows))
+	cfg.sweep(len(results), func(i int) {
+		clients := 3
+		if i%2 == 1 {
+			clients = 1
+		}
+		results[i] = run(rows[i/2].plat, clients)
+	})
+	for i, row := range rows {
+		sat, lowLoad := results[2*i], results[2*i+1]
 		r.AddRow(row.plat, sat.Throughput(), lowLoad.Hist.P90(), lowLoad.Hist.P99(),
 			row.paperTput, row.paperP90)
 	}
@@ -147,18 +161,26 @@ func fig8aTCP(cfg Config) *Report {
 		if err := rt.Start(); err != nil {
 			panic(err)
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.TCP, Target: target, Payload: lenetPayload,
 			Body: lenetBody(net), Clients: clients, Duration: window, Warmup: window / 6,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 	r := &Report{
 		ID:      "fig8a-tcp",
 		Title:   "LeNet service over TCP (§6.3)",
 		Columns: []string{"req/s", "p90 low-load", "paper req/s", "paper latency"},
 	}
-	bf, bfLat := run(platLynxBF, 3), run(platLynxBF, 1)
-	xeon, xeonLat := run(platLynx1Xeon, 3), run(platLynx1Xeon, 1)
+	type point struct {
+		plat    string
+		clients int
+	}
+	points := []point{{platLynxBF, 3}, {platLynxBF, 1}, {platLynx1Xeon, 3}, {platLynx1Xeon, 1}}
+	results := make([]workload.Result, len(points))
+	cfg.sweep(len(points), func(i int) { results[i] = run(points[i].plat, points[i].clients) })
+	bf, bfLat, xeon, xeonLat := results[0], results[1], results[2], results[3]
 	r.AddRow(platLynxBF, bf.Throughput(), bfLat.Hist.P90(), "3.1K", "346µs")
 	r.AddRow(platLynx1Xeon, xeon.Throughput(), xeonLat.Hist.P90(), "3.3K", "322µs")
 	r.Note("paper: TCP costs ~10%% throughput on BlueField and ~5%% on Xeon vs UDP; in this model the")
@@ -221,6 +243,7 @@ func fig8b(cfg Config) *Report {
 			Proto: workload.UDP, Target: svc.Addr(), Payload: lenetPayload,
 			Body: lenetBody(net), Clients: 3 * len(gpus), Duration: window, Warmup: window / 5,
 		})
+		e.tb.Sim.Shutdown()
 		return res.Throughput(), res.Hist.Median()
 	}
 	r := &Report{
@@ -228,9 +251,13 @@ func fig8b(cfg Config) *Report {
 		Title:   "LeNet scaleout to remote K80 GPUs (Fig. 8b)",
 		Columns: []string{"req/s", "median latency", "paper req/s"},
 	}
-	t4, l4 := run(4, 0)
-	t8, l8 := run(4, 4)
-	t12, l12 := run(4, 8)
+	remoteCounts := []int{0, 4, 8}
+	tputs := make([]float64, len(remoteCounts))
+	lats := make([]time.Duration, len(remoteCounts))
+	cfg.sweep(len(remoteCounts), func(i int) { tputs[i], lats[i] = run(4, remoteCounts[i]) })
+	t4, l4 := tputs[0], lats[0]
+	t8, l8 := tputs[1], lats[1]
+	t12, l12 := tputs[2], lats[2]
 	r.AddRow("4 local", t4, l4, "~13K")
 	r.AddRow("4 local + 4 remote", t8, l8, "~26K")
 	r.AddRow("4 local + 8 remote", t12, l12, "~40K")
@@ -286,6 +313,7 @@ func fig8c(cfg Config) *Report {
 			Clients: clients, Duration: window, Warmup: window / 5,
 			Timeout: 500 * time.Millisecond,
 		})
+		e.tb.Sim.Shutdown()
 		return res.Throughput()
 	}
 	counts := []int{1, 15, 30, 60, 90, 120}
@@ -300,7 +328,7 @@ func fig8c(cfg Config) *Report {
 		r.Columns = append(r.Columns, fmt.Sprintf("%d GPUs", n))
 	}
 	perGPU := float64(time.Second) / float64(service)
-	for _, series := range []struct {
+	series := []struct {
 		name  string
 		plat  string
 		proto core.Proto
@@ -310,14 +338,21 @@ func fig8c(cfg Config) *Report {
 		{"UDP " + platLynx1Xeon, platLynx1Xeon, core.UDP, "saturates at ~74 GPUs (paper)"},
 		{"TCP " + platLynxBF, platLynxBF, core.TCP, "saturates at ~15 GPUs (paper)"},
 		{"TCP " + platLynx1Xeon, platLynx1Xeon, core.TCP, "saturates at ~7 GPUs (paper)"},
-	} {
+	}
+	// Every (series, GPU count) cell is an independent testbed.
+	tputs := make([]float64, len(series)*len(counts))
+	cfg.sweep(len(tputs), func(i int) {
+		s := series[i/len(counts)]
+		tputs[i] = run(s.plat, s.proto, counts[i%len(counts)])
+	})
+	for si, s := range series {
 		cells := make([]any, len(counts))
 		for i, n := range counts {
-			tput := run(series.plat, series.proto, n)
+			tput := tputs[si*len(counts)+i]
 			cells[i] = fmt.Sprintf("%s (%.0f%%)", fmtFloat(tput), 100*tput/(perGPU*float64(n)))
 		}
-		r.AddRow(series.name, cells...)
-		r.Note("%s: %s", series.name, series.paper)
+		r.AddRow(s.name, cells...)
+		r.Note("%s: %s", s.name, s.paper)
 	}
 	r.Note("cells: aggregate req/s (%% of linear scaling); one K80-speed delay kernel per emulated GPU")
 	return r

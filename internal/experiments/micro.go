@@ -43,6 +43,7 @@ func sec3Invocation(cfg Config) *Report {
 		Clients: 1, Duration: cfg.window(20 * time.Millisecond), Warmup: time.Millisecond,
 	})
 	wire := e.tb.Net.RTT(8)
+	e.tb.Sim.Shutdown()
 	overhead := res.Hist.Median() - kernel - wire
 	r := &Report{
 		ID:      "sec3-invocation",
@@ -70,14 +71,17 @@ func sec3Noisy(cfg Config) *Report {
 		if err := sv.Start(); err != nil {
 			panic(err)
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000),
 			Payload: 4 * 256, // 256 integers, §3.2
 			Clients: 4, Duration: cfg.window(80 * time.Millisecond), Warmup: 2 * time.Millisecond,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
-	quiet := run(false)
-	noisy := run(true)
+	results := make([]workload.Result, 2)
+	cfg.sweep(2, func(i int) { results[i] = run(i == 1) })
+	quiet, noisy := results[0], results[1]
 	params := newEnv(cfg).params
 	r := &Report{
 		ID:      "sec3-noisy",
@@ -178,18 +182,19 @@ func fig5(cfg Config) *Report {
 		Title:   "mqueue transfer mechanisms, speedup vs cudaMemcpyAsync (Fig. 5)",
 		Columns: []string{"20B", "116B", "516B", "1016B", "1416B"},
 	}
-	base := make([]float64, len(payloads))
-	for i, pl := range payloads {
-		base[i] = measure(mechanisms[0], pl)
-	}
+	// All (mechanism, payload) cells are independent testbeds; fan out and
+	// assemble rows by index (the baseline mechanism doubles as the base for
+	// the speedup column).
+	nCells := len(mechanisms) * len(payloads)
+	vals := make([]float64, nCells)
+	cfg.sweep(nCells, func(i int) {
+		vals[i] = measure(mechanisms[i/len(payloads)], payloads[i%len(payloads)])
+	})
+	base := vals[:len(payloads)]
 	for mi, m := range mechanisms {
 		cells := make([]any, len(payloads))
-		for i, pl := range payloads {
-			v := base[i]
-			if mi != 0 {
-				v = measure(m, pl)
-			}
-			cells[i] = fmtFloat(speedup(v, base[i])) + "x"
+		for i := range payloads {
+			cells[i] = fmtFloat(speedup(vals[mi*len(payloads)+i], base[i])) + "x"
 		}
 		r.AddRow(m.name, cells...)
 	}
@@ -214,10 +219,14 @@ func sec511VMA(cfg Config) *Report {
 			Proto: workload.UDP, Target: target, Payload: 20,
 			Clients: 1, Duration: cfg.window(10 * time.Millisecond), Warmup: time.Millisecond,
 		})
+		e.tb.Sim.Shutdown()
 		return res.Hist.Median()
 	}
-	bfKernel, bfVMA := run(true, false), run(true, true)
-	hostKernel, hostVMA := run(false, false), run(false, true)
+	type point struct{ bf, bypass bool }
+	points := []point{{true, false}, {true, true}, {false, false}, {false, true}}
+	meds := make([]time.Duration, len(points))
+	cfg.sweep(len(points), func(i int) { meds[i] = run(points[i].bf, points[i].bypass) })
+	bfKernel, bfVMA, hostKernel, hostVMA := meds[0], meds[1], meds[2], meds[3]
 	// Isolate the stack processing component (strip mqueue + wire parts
 	// common to both) using per-message stack costs from the model.
 	e := newEnv(cfg)
@@ -267,8 +276,17 @@ func sec51Barrier(cfg Config) *Report {
 		e.tb.Sim.Shutdown()
 		return hist.Median(), float64(hist.Count()) / window.Seconds()
 	}
-	off, offRate := run(false)
-	on, onRate := run(true)
+	var (
+		off, on         time.Duration
+		offRate, onRate float64
+	)
+	cfg.sweep(2, func(i int) {
+		if i == 0 {
+			off, offRate = run(false)
+		} else {
+			on, onRate = run(true)
+		}
+	})
 	r := &Report{
 		ID:      "sec51-barrier",
 		Title:   "GPU write-barrier workaround cost (§5.1)",
@@ -316,8 +334,10 @@ func ablateCoalesce(cfg Config) *Report {
 		Title:   "Metadata/data coalescing ablation (§5.1)",
 		Columns: []string{"RDMA ops per message"},
 	}
-	r.AddRow("coalesced", run(true))
-	r.AddRow("separate metadata", run(false))
+	vals := make([]float64, 2)
+	cfg.sweep(2, func(i int) { vals[i] = run(i == 0) })
+	r.AddRow("coalesced", vals[0])
+	r.AddRow("separate metadata", vals[1])
 	return r
 }
 
@@ -342,14 +362,21 @@ func ablateDispatch(cfg Config) *Report {
 		})
 		rt.Start()
 		// Two clients only: sticky hashing cannot use more than 2 queues.
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: svc.Addr(), Payload: 64,
 			Clients: 16, Duration: cfg.window(20 * time.Millisecond), Warmup: time.Millisecond,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
-	rr := run(func(h *core.AccelHandle) core.Policy { return &core.RoundRobin{} })
-	sticky := run(func(h *core.AccelHandle) core.Policy { return core.StickyHash{} })
-	least := run(func(h *core.AccelHandle) core.Policy { return core.NewLeastLoaded(h) })
+	policies := []func(h *core.AccelHandle) core.Policy{
+		func(h *core.AccelHandle) core.Policy { return &core.RoundRobin{} },
+		func(h *core.AccelHandle) core.Policy { return core.StickyHash{} },
+		func(h *core.AccelHandle) core.Policy { return core.NewLeastLoaded(h) },
+	}
+	results := make([]workload.Result, len(policies))
+	cfg.sweep(len(policies), func(i int) { results[i] = run(policies[i]) })
+	rr, sticky, least := results[0], results[1], results[2]
 	r := &Report{
 		ID:      "ablate-dispatch",
 		Title:   "Dispatch policy ablation: round-robin vs sticky vs least-loaded (§4.2)",
@@ -370,16 +397,21 @@ func ablatePoll(cfg Config) *Report {
 		Title:   "Accelerator polling interval sensitivity",
 		Columns: []string{"median latency", "throughput"},
 	}
-	for _, interval := range []time.Duration{200 * time.Nanosecond, 600 * time.Nanosecond, 2 * time.Microsecond, 10 * time.Microsecond} {
+	intervals := []time.Duration{200 * time.Nanosecond, 600 * time.Nanosecond, 2 * time.Microsecond, 10 * time.Microsecond}
+	results := make([]workload.Result, len(intervals))
+	cfg.sweep(len(intervals), func(i int) {
 		p := model.Default()
-		p.GPUPollInterval = interval
+		p.GPUPollInterval = intervals[i]
 		e := newEnvWith(cfg, &p)
 		target, _ := e.echoDeployment(e.bf.Platform(7), 4, 20*time.Microsecond, 128)
-		res := e.measure(workload.Config{
+		results[i] = e.measure(workload.Config{
 			Proto: workload.UDP, Target: target, Payload: 64,
 			Clients: 8, Duration: cfg.window(10 * time.Millisecond), Warmup: time.Millisecond,
 		})
-		r.AddRow(interval.String(), res.Hist.Median(), res.Throughput())
+		e.tb.Sim.Shutdown()
+	})
+	for i, interval := range intervals {
+		r.AddRow(interval.String(), results[i].Hist.Median(), results[i].Throughput())
 	}
 	return r
 }

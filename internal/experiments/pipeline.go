@@ -48,7 +48,7 @@ func extPipeline(cfg Config) *Report {
 		}
 	}
 
-	pipelined := func() workload.Result {
+	runPipelined := func() workload.Result {
 		e := newEnv(cfg)
 		gpu2 := e.server.AddGPU("gpu1", accel.K40m, false, "server1")
 		rt := core.NewRuntime(e.bf.Platform(7))
@@ -62,13 +62,15 @@ func extPipeline(cfg Config) *Report {
 		launchStage(e, e.gpu, h1, 0, nq)
 		launchStage(e, gpu2, h2, 0, nq)
 		rt.Start()
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: pl.Addr(), Payload: 64,
 			Clients: 2 * nq, Duration: window, Warmup: window / 5,
 		})
-	}()
+		e.tb.Sim.Shutdown()
+		return res
+	}
 
-	bounced := func() workload.Result {
+	runBounced := func() workload.Result {
 		e := newEnv(cfg)
 		gpu2 := e.server.AddGPU("gpu1", accel.K40m, false, "server1")
 		rt := core.NewRuntime(e.bf.Platform(7))
@@ -116,7 +118,17 @@ func extPipeline(cfg Config) *Report {
 		e.tb.Sim.RunUntil(end.Add(window / 10))
 		e.tb.Sim.Shutdown()
 		return workload.Result{Received: done, Hist: hist, Window: window}
-	}()
+	}
+
+	results := make([]workload.Result, 2)
+	cfg.sweep(2, func(i int) {
+		if i == 0 {
+			results[i] = runPipelined()
+		} else {
+			results[i] = runBounced()
+		}
+	})
+	pipelined, bounced := results[0], results[1]
 
 	r := &Report{
 		ID:      "ext-pipeline",
@@ -161,20 +173,27 @@ func extLatencyCurve(cfg Config) *Report {
 			}
 			target = e.server.NetHost.Addr(7000)
 		}
-		return e.measure(workload.Config{
+		res := e.measure(workload.Config{
 			Proto: workload.UDP, Target: target, Payload: lenetPayload,
 			Body: lenetBody(net), Clients: 4, RatePerSec: rate, Poisson: true,
 			Duration: window, Warmup: window / 5,
 		})
+		e.tb.Sim.Shutdown()
+		return res
 	}
 	r := &Report{
 		ID:      "ext-latency-curve",
 		Title:   "LeNet latency vs offered load (extension; open loop)",
 		Columns: []string{"Lynx p50", "Lynx p99", "host-centric p50", "host-centric p99"},
 	}
-	for _, rate := range rates {
-		ly := measure(true, rate)
-		hc := measure(false, rate)
+	// (mode, rate) points are independent testbeds sharing only the
+	// read-only LeNet weights; fan out and assemble rows by index.
+	results := make([]workload.Result, 2*len(rates))
+	cfg.sweep(len(results), func(i int) {
+		results[i] = measure(i%2 == 0, rates[i/2])
+	})
+	for i, rate := range rates {
+		ly, hc := results[2*i], results[2*i+1]
 		hcP50, hcP99 := "saturated", "saturated"
 		if hc.Received > uint64(0.9*rate*window.Seconds()) {
 			hcP50, hcP99 = hc.Hist.Median().String(), hc.Hist.P99().String()

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// AutoWorkers is the Config.Workers value that selects one worker per
+// available CPU (GOMAXPROCS).
+const AutoWorkers = -1
+
+// workers resolves Config.Workers to a concrete worker count.
+func (c Config) workers() int {
+	switch {
+	case c.Workers == AutoWorkers:
+		return runtime.GOMAXPROCS(0)
+	case c.Workers > 1:
+		return c.Workers
+	default:
+		return 1
+	}
+}
+
+// sweep runs point(i) for every i in [0, n), fanning the calls out across
+// cfg.Workers goroutines (sequentially when Workers <= 1). Sweep points must
+// be independent: each builds its own Sim, so runs share nothing but
+// read-only inputs. Callers store results by index and assemble rows after
+// sweep returns, which keeps reports byte-identical to a sequential run.
+//
+// A panic in any point is re-raised on the caller's goroutine once all
+// workers have stopped, matching sequential error behavior.
+func (c Config) sweep(n int, point func(i int)) {
+	w := c.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			point(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() != nil {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &sweepPanic{val: r})
+						}
+					}()
+					point(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.(*sweepPanic).val)
+	}
+}
+
+// sweepPanic boxes a recovered panic value (atomic.Value needs a consistent
+// concrete type).
+type sweepPanic struct{ val any }

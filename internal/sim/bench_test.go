@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimEngine measures the raw discrete-event hot path: scheduling
+// throughput (events executed per wall-clock second) and steady-state
+// allocations for the three blocking substrates every simulated component is
+// built from — timers, channel rendezvous, and resource handoff. One
+// benchmark iteration advances one microsecond of virtual time.
+func BenchmarkSimEngine(b *testing.B) {
+	b.Run("timers", func(b *testing.B) {
+		const nProcs = 256
+		s := New(Config{Seed: 1})
+		for i := 0; i < nProcs; i++ {
+			s.Spawn("timer", func(p *Proc) {
+				for {
+					p.Sleep(time.Microsecond)
+				}
+			})
+		}
+		s.RunUntil(s.Now().Add(10 * time.Microsecond)) // settle spawns
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		reportEventRate(b, nProcs)
+		s.Shutdown()
+	})
+
+	b.Run("chan-pingpong", func(b *testing.B) {
+		const nPairs = 64
+		s := New(Config{Seed: 1})
+		for i := 0; i < nPairs; i++ {
+			req := NewChan[int](s, 0)
+			resp := NewChan[int](s, 0)
+			s.Spawn("client", func(p *Proc) {
+				for {
+					p.Sleep(time.Microsecond)
+					req.Put(p, 1)
+					resp.Get(p)
+				}
+			})
+			s.Spawn("server", func(p *Proc) {
+				for {
+					v := req.Get(p)
+					resp.Put(p, v)
+				}
+			})
+		}
+		s.RunUntil(s.Now().Add(10 * time.Microsecond))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		// Per virtual µs and pair: timer step, put handoff, get handoff,
+		// plus the server's two rendezvous steps — ~5 proc steps.
+		reportEventRate(b, nPairs*5)
+		s.Shutdown()
+	})
+
+	b.Run("resource", func(b *testing.B) {
+		const nProcs = 128
+		s := New(Config{Seed: 1})
+		res := NewResource(s, nProcs/4)
+		for i := 0; i < nProcs; i++ {
+			s.Spawn("worker", func(p *Proc) {
+				for {
+					res.With(p, time.Microsecond, nil)
+				}
+			})
+		}
+		s.RunUntil(s.Now().Add(10 * time.Microsecond))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		// nProcs/4 units cycle per µs: sleep event + release handoff each.
+		reportEventRate(b, nProcs/2)
+		s.Shutdown()
+	})
+
+	b.Run("gate-doorbell", func(b *testing.B) {
+		const nQueues = 64
+		s := New(Config{Seed: 1})
+		gates := make([]*Gate, nQueues)
+		for i := range gates {
+			gates[i] = NewGate(s)
+			g := gates[i]
+			s.Spawn("poller", func(p *Proc) {
+				for {
+					v := g.Version()
+					g.Wait(p, v)
+				}
+			})
+		}
+		s.Spawn("producer", func(p *Proc) {
+			for {
+				p.Sleep(time.Microsecond)
+				for _, g := range gates {
+					g.Fire()
+				}
+			}
+		})
+		s.RunUntil(s.Now().Add(10 * time.Microsecond))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		reportEventRate(b, nQueues+1)
+		s.Shutdown()
+	})
+}
+
+// reportEventRate converts per-iteration event counts into events/sec.
+func reportEventRate(b *testing.B, eventsPerOp int) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(eventsPerOp)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	}
+}

@@ -7,6 +7,12 @@
 // runs at any instant, handing control back and forth explicitly. Together
 // with the seeded random source this makes every simulation bit-reproducible.
 //
+// The event loop is built for throughput: events are plain values in an
+// inlined 4-ary min-heap (no container/heap interface boxing, no per-event
+// allocation), resuming a blocked process schedules a direct proc-step event
+// instead of a closure, and the waiter nodes of channels and gates recycle
+// through free lists. Steady-state scheduling therefore allocates nothing.
+//
 // Typical usage:
 //
 //	s := sim.New(sim.Config{Seed: 1})
@@ -22,7 +28,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 	"time"
@@ -53,15 +58,19 @@ type Config struct {
 // from inside event callbacks, or from processes spawned on this Sim.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events []event // 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	rng    *rand.Rand
+
+	executed uint64
 
 	// yield is signalled by the currently running process when it blocks or
 	// exits, returning control to the scheduler.
 	yield chan struct{}
 
-	procs    map[*Proc]struct{}
+	// order lists spawned processes in spawn order (lazily compacted), so
+	// Shutdown unwinds them deterministically.
+	order    []*Proc
 	nprocs   int
 	stopping bool
 }
@@ -70,8 +79,7 @@ type Sim struct {
 func New(cfg Config) *Sim {
 	return &Sim{
 		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
-		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
+		yield: make(chan struct{}, 1),
 	}
 }
 
@@ -81,31 +89,77 @@ func (s *Sim) Now() Time { return s.now }
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
-// event is a scheduled callback.
+// Executed reports the total number of events executed so far.
+func (s *Sim) Executed() uint64 { return s.executed }
+
+// event is one scheduled entry. The common case — resuming a blocked
+// process — stores the process directly; only irregular callbacks (timeouts,
+// user events) carry a closure. Events are heap values, never allocated
+// individually.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc  // non-nil: step this process
+	fn   func() // otherwise: run this callback
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (timestamp, sequence): the unique total order
+// that makes runs bit-reproducible regardless of heap shape.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push inserts e into the 4-ary heap (inlined sift-up).
+func (s *Sim) push(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	s.events = h
+}
+
+// popMin removes and returns the earliest event (inlined sift-down). The
+// caller must have checked len(s.events) > 0.
+func (s *Sim) popMin() event {
+	h := s.events
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release proc/closure references
+	h = h[:last]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= len(h) {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(&h[c], &h[m]) {
+				m = c
+			}
+		}
+		if !eventLess(&h[m], &h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	s.events = h
+	return min
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -115,7 +169,14 @@ func (s *Sim) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// atStep schedules a resume of p at t — the allocation-free fast path used
+// by every blocking primitive in this package.
+func (s *Sim) atStep(t Time, p *Proc) {
+	s.seq++
+	s.push(event{at: t, seq: s.seq, proc: p})
 }
 
 // After schedules fn to run d after the current time.
@@ -129,14 +190,18 @@ func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
 // latter case the clock is left at limit.
 func (s *Sim) RunUntil(limit Time) {
 	for len(s.events) > 0 {
-		next := s.events[0]
-		if next.at > limit {
+		if s.events[0].at > limit {
 			s.now = limit
 			return
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
-		next.fn()
+		e := s.popMin()
+		s.now = e.at
+		s.executed++
+		if e.proc != nil {
+			s.step(e.proc)
+		} else {
+			e.fn()
+		}
 	}
 	if s.now < limit && limit < Time(1<<62-1) {
 		s.now = limit
@@ -177,14 +242,28 @@ func (k killedErr) Error() string { return "sim: process " + k.name + " killed" 
 // Spawn starts fn as a new process at the current virtual time. The process
 // begins executing when the scheduler reaches its start event.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
-	s.procs[p] = struct{}{}
+	p := &Proc{sim: s, name: name, resume: make(chan struct{}, 1)}
+	// Track spawn order for deterministic Shutdown; compact the exited
+	// entries once they dominate so long simulations with process churn
+	// stay bounded.
+	if len(s.order) >= 64 && len(s.order) >= 2*s.nprocs {
+		live := s.order[:0]
+		for _, q := range s.order {
+			if !q.done {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(s.order); i++ {
+			s.order[i] = nil
+		}
+		s.order = live
+	}
+	s.order = append(s.order, p)
 	s.nprocs++
 	go func() {
 		<-p.resume
 		defer func() {
 			p.done = true
-			delete(s.procs, p)
 			s.nprocs--
 			if r := recover(); r != nil {
 				if _, ok := r.(killedErr); ok {
@@ -199,7 +278,7 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	s.At(s.now, func() { s.step(p) })
+	s.atStep(s.now, p)
 	return p
 }
 
@@ -231,7 +310,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	s := p.sim
-	s.At(s.now.Add(d), func() { s.step(p) })
+	s.atStep(s.now.Add(d), p)
 	p.block()
 }
 
@@ -242,27 +321,24 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Killing an exited process is a no-op.
 func (p *Proc) Kill() { p.killed = true }
 
-// Shutdown kills all live processes, unwinding each at its blocking point,
-// and drains any events they schedule. Call after RunUntil to avoid leaking
-// goroutines; the Sim must not be used afterwards.
+// Shutdown kills all live processes, unwinding each at its blocking point in
+// spawn order, and drains any events they schedule. Call after RunUntil to
+// avoid leaking goroutines; the Sim must not be used afterwards.
 func (s *Sim) Shutdown() {
 	s.stopping = true
-	for p := range s.procs {
+	for _, p := range s.order {
 		p.killed = true
 	}
 	// Wake every blocked process. Processes blocked on channels/resources
 	// are tracked there; ones blocked on timers will be woken by their
 	// scheduled events, but those may be far in the future, so we resume
 	// each live proc directly.
-	live := make([]*Proc, 0, len(s.procs))
-	for p := range s.procs {
-		live = append(live, p)
-	}
-	for _, p := range live {
+	for _, p := range s.order {
 		s.step(p)
 	}
 	// Drop remaining events; their closures may reference dead procs.
 	s.events = nil
+	s.order = nil
 }
 
 // Live reports the number of live (spawned, not yet exited) processes.
@@ -277,9 +353,11 @@ func (s *Sim) Live() int { return s.nprocs }
 type Chan[T any] struct {
 	sim     *Sim
 	cap     int
-	buf     []T
+	buf     []T // FIFO buffer; bufHead is the index of the oldest item
+	bufHead int
 	getters waiterQ[T]
 	putters waiterQ[T]
+	free    []*waiter[T]
 }
 
 // NewChan creates a queue. capacity == 0 means unbounded (Put never blocks).
@@ -291,53 +369,124 @@ type waiter[T any] struct {
 	p   *Proc
 	val T    // value being delivered (getter: filled by putter; putter: value to enqueue)
 	ok  bool // set when the rendezvous happened
+	// gen guards recycled waiters against stale timeout events: it is
+	// bumped when the waiter returns to the free list, so a pending timeout
+	// closure that captured the old generation becomes a no-op.
+	gen uint64
 }
 
-type waiterQ[T any] struct{ q []*waiter[T] }
+// getWaiter takes a node from the free list (or allocates the first time).
+func (c *Chan[T]) getWaiter(p *Proc) *waiter[T] {
+	if n := len(c.free); n > 0 {
+		w := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		w.p = p
+		return w
+	}
+	return &waiter[T]{p: p}
+}
+
+// putWaiter recycles a node whose wait has fully resolved.
+func (c *Chan[T]) putWaiter(w *waiter[T]) {
+	var zero T
+	w.p, w.val, w.ok = nil, zero, false
+	w.gen++
+	c.free = append(c.free, w)
+}
+
+// waiterQ is a FIFO of waiters that reuses its backing array: popping
+// advances a head index instead of re-slicing, and the array rewinds whenever
+// the queue drains, so steady-state churn never reallocates.
+type waiterQ[T any] struct {
+	q    []*waiter[T]
+	head int
+}
 
 func (w *waiterQ[T]) push(x *waiter[T]) { w.q = append(w.q, x) }
 func (w *waiterQ[T]) pop() *waiter[T] {
-	if len(w.q) == 0 {
+	if w.head == len(w.q) {
 		return nil
 	}
-	x := w.q[0]
-	w.q[0] = nil
-	w.q = w.q[1:]
+	x := w.q[w.head]
+	w.q[w.head] = nil
+	w.head++
+	if w.head == len(w.q) {
+		w.q, w.head = w.q[:0], 0
+	} else if w.head > 32 && w.head*2 >= len(w.q) {
+		// Queue stays non-empty: compact (amortized O(1)) so the backing
+		// array stays bounded.
+		n := copy(w.q, w.q[w.head:])
+		for i := n; i < len(w.q); i++ {
+			w.q[i] = nil
+		}
+		w.q, w.head = w.q[:n], 0
+	}
 	return x
 }
 func (w *waiterQ[T]) remove(x *waiter[T]) {
-	for i, y := range w.q {
-		if y == x {
-			w.q = append(w.q[:i], w.q[i+1:]...)
+	for i := w.head; i < len(w.q); i++ {
+		if w.q[i] == x {
+			copy(w.q[i:], w.q[i+1:])
+			w.q[len(w.q)-1] = nil
+			w.q = w.q[:len(w.q)-1]
+			if w.head == len(w.q) {
+				w.q, w.head = w.q[:0], 0
+			}
 			return
 		}
 	}
 }
-func (w *waiterQ[T]) len() int { return len(w.q) }
+func (w *waiterQ[T]) len() int { return len(w.q) - w.head }
 
 // Len reports the number of buffered items.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return len(c.buf) - c.bufHead }
+
+// popBuf removes and returns the oldest buffered item, rewinding the backing
+// array once the buffer drains so steady-state traffic never reallocates.
+func (c *Chan[T]) popBuf() T {
+	v := c.buf[c.bufHead]
+	var zero T
+	c.buf[c.bufHead] = zero
+	c.bufHead++
+	if c.bufHead == len(c.buf) {
+		c.buf, c.bufHead = c.buf[:0], 0
+	} else if c.bufHead > 32 && c.bufHead*2 >= len(c.buf) {
+		// Buffer stays non-empty: compact (amortized O(1)) so the backing
+		// array stays bounded.
+		n := copy(c.buf, c.buf[c.bufHead:])
+		for i := n; i < len(c.buf); i++ {
+			c.buf[i] = zero
+		}
+		c.buf, c.bufHead = c.buf[:n], 0
+	}
+	return v
+}
 
 // Put enqueues v, blocking while the queue is at capacity.
 func (c *Chan[T]) Put(p *Proc, v T) {
 	if w := c.getters.pop(); w != nil {
 		// Direct hand-off to a waiting getter.
 		w.val, w.ok = v, true
-		c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
+		c.sim.atStep(c.sim.now, w.p)
 		return
 	}
-	if c.cap == 0 || len(c.buf) < c.cap {
+	if c.cap == 0 || c.Len() < c.cap {
 		c.buf = append(c.buf, v)
 		return
 	}
-	w := &waiter[T]{p: p, val: v}
+	w := c.getWaiter(p)
+	w.val = v
 	c.putters.push(w)
+	defer func() {
+		if !w.ok {
+			// Unwound by Kill before the rendezvous: leave no dangling
+			// queue entry behind.
+			c.putters.remove(w)
+		}
+		c.putWaiter(w)
+	}()
 	p.block()
-	if !w.ok {
-		// Unwound by Kill: remove from queue defensively (block panicked,
-		// so this line only runs if ok was set; keep for clarity).
-		c.putters.remove(w)
-	}
 }
 
 // TryPut enqueues v if the queue has room or a waiting getter, without
@@ -345,37 +494,39 @@ func (c *Chan[T]) Put(p *Proc, v T) {
 func (c *Chan[T]) TryPut(v T) bool {
 	if w := c.getters.pop(); w != nil {
 		w.val, w.ok = v, true
-		c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
+		c.sim.atStep(c.sim.now, w.p)
 		return true
 	}
-	if c.cap == 0 || len(c.buf) < c.cap {
+	if c.cap == 0 || c.Len() < c.cap {
 		c.buf = append(c.buf, v)
 		return true
 	}
 	return false
 }
 
+// admitPutter moves a blocked putter's value into the freed buffer slot.
+func (c *Chan[T]) admitPutter() {
+	if w := c.putters.pop(); w != nil {
+		w.ok = true
+		c.buf = append(c.buf, w.val)
+		c.sim.atStep(c.sim.now, w.p)
+	}
+}
+
 // Get dequeues the oldest item, blocking while the queue is empty.
 func (c *Chan[T]) Get(p *Proc) T {
-	if len(c.buf) > 0 {
-		v := c.buf[0]
-		var zero T
-		c.buf[0] = zero
-		c.buf = c.buf[1:]
-		// Admit a blocked putter, if any.
-		if w := c.putters.pop(); w != nil {
-			w.ok = true
-			c.buf = append(c.buf, w.val)
-			c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
-		}
+	if c.Len() > 0 {
+		v := c.popBuf()
+		c.admitPutter()
 		return v
 	}
-	w := &waiter[T]{p: p}
+	w := c.getWaiter(p)
 	c.getters.push(w)
 	defer func() {
 		if !w.ok {
 			c.getters.remove(w)
 		}
+		c.putWaiter(w)
 	}()
 	p.block()
 	return w.val
@@ -383,18 +534,12 @@ func (c *Chan[T]) Get(p *Proc) T {
 
 // TryGet dequeues without blocking, reporting whether a value was available.
 func (c *Chan[T]) TryGet() (T, bool) {
-	var zero T
-	if len(c.buf) == 0 {
+	if c.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := c.buf[0]
-	c.buf[0] = zero
-	c.buf = c.buf[1:]
-	if w := c.putters.pop(); w != nil {
-		w.ok = true
-		c.buf = append(c.buf, w.val)
-		c.sim.At(c.sim.now, func() { c.sim.step(w.p) })
-	}
+	v := c.popBuf()
+	c.admitPutter()
 	return v, true
 }
 
@@ -408,17 +553,24 @@ func (c *Chan[T]) GetTimeout(p *Proc, d time.Duration) (T, bool) {
 	if d <= 0 {
 		return zero, false
 	}
-	w := &waiter[T]{p: p}
+	w := c.getWaiter(p)
+	gen := w.gen
 	c.getters.push(w)
 	timedOut := false
 	c.sim.At(c.sim.now.Add(d), func() {
-		if w.ok || timedOut {
+		if w.gen != gen || w.ok || timedOut {
 			return
 		}
 		timedOut = true
 		c.getters.remove(w)
 		c.sim.step(w.p)
 	})
+	defer func() {
+		if !w.ok && !timedOut {
+			c.getters.remove(w)
+		}
+		c.putWaiter(w)
+	}()
 	p.block()
 	if timedOut {
 		return zero, false
@@ -436,7 +588,8 @@ type Resource struct {
 	sim     *Sim
 	total   int
 	inUse   int
-	waiters []*Proc
+	waiters []*Proc // FIFO; wHead indexes the oldest waiter
+	wHead   int
 }
 
 // NewResource creates a resource pool with n units. n must be positive.
@@ -468,12 +621,23 @@ func (r *Resource) TryAcquire() bool {
 
 // Release returns one unit, waking the oldest waiter if any.
 func (r *Resource) Release() {
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters[0] = nil
-		r.waiters = r.waiters[1:]
+	if r.wHead < len(r.waiters) {
+		w := r.waiters[r.wHead]
+		r.waiters[r.wHead] = nil
+		r.wHead++
+		if r.wHead == len(r.waiters) {
+			r.waiters, r.wHead = r.waiters[:0], 0
+		} else if r.wHead > 32 && r.wHead*2 >= len(r.waiters) {
+			// Never-empty wait queue: compact (amortized O(1)) so the
+			// backing array stays bounded.
+			n := copy(r.waiters, r.waiters[r.wHead:])
+			for i := n; i < len(r.waiters); i++ {
+				r.waiters[i] = nil
+			}
+			r.waiters, r.wHead = r.waiters[:n], 0
+		}
 		// Unit passes directly to the waiter; inUse stays constant.
-		r.sim.At(r.sim.now, func() { r.sim.step(w) })
+		r.sim.atStep(r.sim.now, w)
 		return
 	}
 	if r.inUse == 0 {
@@ -486,7 +650,7 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // Waiting reports the number of blocked acquirers.
-func (r *Resource) Waiting() int { return len(r.waiters) }
+func (r *Resource) Waiting() int { return len(r.waiters) - r.wHead }
 
 // With runs fn while holding one unit, charging exec virtual time.
 func (r *Resource) With(p *Proc, exec time.Duration, fn func()) {
@@ -521,11 +685,11 @@ func (sg *Signal) Wait(p *Proc) {
 // Fire wakes every currently blocked waiter at the current instant.
 func (sg *Signal) Fire() {
 	ws := sg.waiters
-	sg.waiters = nil
-	for _, w := range ws {
-		w := w
-		sg.sim.At(sg.sim.now, func() { sg.sim.step(w) })
+	for i, w := range ws {
+		sg.sim.atStep(sg.sim.now, w)
+		ws[i] = nil
 	}
+	sg.waiters = ws[:0] // keep the backing array for the next round of waiters
 }
 
 // Waiting reports the number of processes blocked on the signal.
@@ -545,26 +709,30 @@ func (s *Sim) RunUntilCond(limit Time, check time.Duration, cond func() bool) {
 }
 
 // ---------------------------------------------------------------------------
-// Gates
+// Gates (doorbell parking)
 
 // Gate is a level-safe, versioned broadcast: every Fire bumps the version
 // and wakes current waiters. Callers snapshot Version before checking their
 // condition and pass it to Wait, which returns immediately if anything fired
 // in between — eliminating the lost-wakeup race of edge-triggered signals.
 //
-// Gates exist so simulated busy-poll loops (GPU threadblocks watching
-// doorbells, the SNIC manager sweeping TX rings) can block instead of
-// burning simulator events each poll iteration; the caller re-adds the
-// modelled polling detection latency after waking.
+// Gates are the simulator's doorbell-parking mechanism: simulated busy-poll
+// loops (GPU threadblocks watching doorbells, the Remote MQ Manager sweeping
+// TX rings) park on a gate instead of scheduling a wakeup event every poll
+// interval while their queues are empty; the caller re-adds the modelled
+// polling detection latency after waking, so virtual-time results are
+// identical to the spinning implementation.
 type Gate struct {
 	sim     *Sim
 	ver     uint64
 	waiters []*gateWaiter
+	free    []*gateWaiter
 }
 
 type gateWaiter struct {
 	p     *Proc
 	woken bool
+	gen   uint64 // guards recycled waiters against stale timeout events
 }
 
 // NewGate creates a gate bound to s.
@@ -580,12 +748,12 @@ func (g *Gate) Waiting() int { return len(g.waiters) }
 func (g *Gate) Fire() {
 	g.ver++
 	ws := g.waiters
-	g.waiters = nil
-	for _, w := range ws {
-		w := w
+	for i, w := range ws {
 		w.woken = true
-		g.sim.At(g.sim.now, func() { g.sim.step(w.p) })
+		g.sim.atStep(g.sim.now, w.p)
+		ws[i] = nil
 	}
+	g.waiters = ws[:0] // keep the backing array for the next round of waiters
 }
 
 func (g *Gate) remove(w *gateWaiter) {
@@ -597,18 +765,38 @@ func (g *Gate) remove(w *gateWaiter) {
 	}
 }
 
+// getWaiter takes a node from the free list (or allocates the first time).
+func (g *Gate) getWaiter(p *Proc) *gateWaiter {
+	if n := len(g.free); n > 0 {
+		w := g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+		w.p = p
+		return w
+	}
+	return &gateWaiter{p: p}
+}
+
+// putWaiter recycles a node whose wait has fully resolved.
+func (g *Gate) putWaiter(w *gateWaiter) {
+	w.p, w.woken = nil, false
+	w.gen++
+	g.free = append(g.free, w)
+}
+
 // Wait blocks until the gate fires, unless it already fired since the caller
 // observed version since (in which case it returns immediately).
 func (g *Gate) Wait(p *Proc, since uint64) {
 	if g.ver != since {
 		return
 	}
-	w := &gateWaiter{p: p}
+	w := g.getWaiter(p)
 	g.waiters = append(g.waiters, w)
 	defer func() {
 		if !w.woken {
 			g.remove(w)
 		}
+		g.putWaiter(w)
 	}()
 	p.block()
 }
@@ -623,16 +811,26 @@ func (g *Gate) WaitTimeout(p *Proc, since uint64, d time.Duration) bool {
 		return false
 	}
 	timedOut := false
-	w := &gateWaiter{p: p}
+	w := g.getWaiter(p)
+	gen := w.gen
 	g.waiters = append(g.waiters, w)
 	g.sim.At(g.sim.now.Add(d), func() {
-		if w.woken || timedOut {
+		if w.gen != gen || w.woken || timedOut {
 			return
 		}
 		timedOut = true
 		g.remove(w)
 		g.sim.step(p)
 	})
+	fired := false
+	defer func() {
+		fired = w.woken
+		if !w.woken && !timedOut {
+			g.remove(w)
+		}
+		g.putWaiter(w)
+	}()
 	p.block()
+	_ = fired
 	return w.woken
 }

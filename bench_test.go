@@ -129,6 +129,30 @@ func BenchmarkSec51Barrier(b *testing.B) {
 	runExperiment(b, "sec51-barrier", "", "", "")
 }
 
+func BenchmarkBreakdown(b *testing.B) {
+	runExperiment(b, "breakdown", "end-to-end", "mean", "e2e-µs")
+}
+
+// BenchmarkTraceOverhead runs the same BlueField echo deployment with the
+// observability plane fully enabled (span table + event ring + samplers)
+// and fully disabled, so the two sub-benchmark wall times quantify the real
+// (host CPU) cost of tracing. The simulated virtual-time results are
+// identical by construction — asserted by TestBreakdownDisabledIsFree.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := experiments.BreakdownRun(experiments.Config{Seed: uint64(i + 1), Scale: 0.3}, traced)
+			if res.Received == 0 {
+				b.Fatal("no responses measured")
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 func BenchmarkAblateCoalesce(b *testing.B) {

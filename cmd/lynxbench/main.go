@@ -37,6 +37,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
 		loss       = flag.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
 		parallel   = flag.Int("parallel", 0, "sweep workers: 0 = one per CPU, 1 = sequential, n = n workers")
+		traceJSON  = flag.String("trace-json", "", "write a Chrome trace-event timeline from instrumented experiments (breakdown) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -75,7 +76,7 @@ func main() {
 	if workers <= 0 {
 		workers = experiments.AutoWorkers
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON}
 	if *loss > 0 {
 		cfg.Faults = fault.Config{Seed: *seed, DropRate: *loss}
 	}

@@ -18,6 +18,7 @@ import (
 
 	"lynx"
 	"lynx/internal/apps/lenet"
+	"lynx/internal/metrics"
 	"lynx/internal/trace"
 	"lynx/internal/workload"
 )
@@ -34,6 +35,7 @@ func main() {
 		secs     = flag.Float64("secs", 1.0, "simulated seconds to run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		traceN   = flag.Int("trace", 0, "dump the last N runtime trace events")
+		traceOut = flag.String("trace-json", "", "write a Chrome trace-event timeline (spans, samples, events) to this file")
 		loss     = flag.Float64("loss", 0, "inject datagram drop probability (0..1)")
 		dup      = flag.Float64("dup", 0, "inject datagram duplication probability (0..1)")
 		rdmaErr  = flag.Float64("rdma-err", 0, "inject RDMA completion error probability (0..1)")
@@ -60,9 +62,20 @@ func main() {
 		plat = server.HostPlatform(*cores, true)
 	}
 	var tracer *trace.Tracer
-	if *traceN > 0 {
-		tracer = trace.New(4 * *traceN)
+	if *traceN > 0 || *traceOut != "" {
+		n := 4 * *traceN
+		if n < 4096 {
+			n = 4096
+		}
+		tracer = trace.New(n)
 		plat.Tracer = tracer
+	}
+	var spans *trace.SpanTable
+	var reg *metrics.Registry
+	if *traceOut != "" {
+		spans = trace.NewSpanTable(1 << 15)
+		plat.Spans = spans
+		reg = metrics.NewRegistry()
 	}
 	srv := lynx.NewServer(plat)
 
@@ -117,6 +130,10 @@ func main() {
 		os.Exit(2)
 	}
 	check(srv.Start())
+	if reg != nil {
+		srv.StartMonitor(50*time.Microsecond, reg)
+		cluster.Testbed().RegisterStats(reg)
+	}
 
 	target := plat.NetHost.Addr(7000)
 	fmt.Printf("lynxd: %s service on %s (%s, %d cores), %d mqueues\n",
@@ -127,6 +144,7 @@ func main() {
 		Proto: workload.UDP, Target: target, Payload: payload, Body: body,
 		Clients: *clients, RatePerSec: *rate, Retries: *retries,
 		Duration: window, Warmup: window / 10,
+		Spans: spans,
 	}, client)
 	res := gen.Run()
 
@@ -143,13 +161,32 @@ func main() {
 	if fc.Enabled() {
 		fmt.Printf("faults injected: %s\n", cluster.FaultStats())
 	}
-	if tracer != nil {
+	if tracer != nil && *traceN > 0 {
 		fmt.Printf("\ntrace summary: %s\nlast %d events:\n", tracer.Summary(), *traceN)
 		for _, ev := range tracer.Tail(*traceN) {
 			fmt.Println(" ", ev)
 		}
 	}
+	if *traceOut != "" {
+		ex := trace.Export{Spans: spans, Events: tracer, Series: reg.SeriesList()}
+		check(writeTrace(*traceOut, ex))
+		fmt.Printf("trace timeline written to %s (spans begun=%d closed=%d evicted=%d)\n",
+			*traceOut, spans.Begun(), spans.Closed(), spans.Evicted())
+	}
 	cluster.Close()
+}
+
+// writeTrace writes the Chrome trace-event export to path.
+func writeTrace(path string, ex trace.Export) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ex.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func check(err error) {

@@ -5,17 +5,24 @@
 // Usage:
 //
 //	lynxtopo            # topology summary + calibrated constants
+//	lynxtopo -json      # the same, as a structured metrics-registry dump
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"lynx/internal/accel"
+	"lynx/internal/metrics"
 	"lynx/internal/model"
 	"lynx/internal/snic"
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit a structured JSON dump instead of text")
+	flag.Parse()
 	p := model.Default()
 	tb := snic.NewTestbed(1, &p)
 	server := tb.NewMachine("server1", 6)
@@ -28,6 +35,45 @@ func main() {
 	tb.AddClient("client2")
 	if err := tb.Validate(server, remote); err != nil {
 		panic(err)
+	}
+
+	if *jsonOut {
+		usec := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		reg := metrics.NewRegistry()
+		reg.AddStats("topology", func() []metrics.Stat {
+			return []metrics.Stat{
+				{Name: "server_cores", Value: 6},
+				{Name: "bluefield_arm_cores", Value: 8},
+				{Name: "gpu_max_threadblocks", Value: float64(gpu.MaxThreadblocks())},
+				{Name: "vca_nodes", Value: float64(vca.Nodes())},
+				{Name: "nic_gpu_pcie_hops", Value: float64(tb.Fab.Distance(bf.NIC, gpu.Device()))},
+				{Name: "nic_remote_gpu_hops", Value: float64(tb.Fab.Distance(bf.NIC, rgpu.Device()))},
+			}
+		})
+		reg.AddStats("model", func() []metrics.Stat {
+			return []metrics.Stat{
+				{Name: "wire_bandwidth_gbps", Value: p.WireBandwidth / 1e9},
+				{Name: "udp_process_vma_us", Value: usec(p.UDPProcessVMA)},
+				{Name: "udp_process_kernel_us", Value: usec(p.UDPProcessKernel)},
+				{Name: "tcp_mult_vma", Value: p.TCPMultVMA},
+				{Name: "arm_syscall_penalty", Value: p.ARMSyscallPenalty},
+				{Name: "stack_serial_fraction", Value: p.StackSerialFraction},
+				{Name: "pcie_latency_us", Value: usec(p.PCIeLatency)},
+				{Name: "pcie_bandwidth_gbps", Value: p.PCIeBandwidth / 1e9},
+				{Name: "rdma_issue_us", Value: usec(p.RDMAIssue)},
+				{Name: "rdma_engine_us", Value: usec(p.RDMAEngine)},
+				{Name: "kernel_launch_us", Value: usec(p.KernelLaunch)},
+				{Name: "gpu_poll_interval_us", Value: usec(p.GPUPollInterval)},
+				{Name: "lenet_service_k40_us", Value: usec(p.LeNetServiceK40)},
+				{Name: "innova_pipeline_us", Value: usec(p.InnovaPipeline)},
+				{Name: "sgx_transition_us", Value: usec(p.SGXTransition)},
+				{Name: "memcached_op_xeon_us", Value: usec(p.MemcachedOpXeon)},
+			}
+		})
+		if err := reg.Dump(os.Stdout); err != nil {
+			panic(err)
+		}
+		return
 	}
 
 	fmt.Println("Reference topology (the paper's testbed, §6):")

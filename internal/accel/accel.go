@@ -75,6 +75,7 @@ type GPU struct {
 	exclusive *sim.Resource
 
 	launches uint64
+	busyTime time.Duration
 }
 
 // GPUConfig parameterizes NewGPU.
@@ -168,12 +169,16 @@ func (tb *TB) GPU() *GPU { return tb.gpu }
 
 // Compute charges d of threadblock-local execution (a kernel body that
 // occupies only this TB, like the paper's microbenchmark delay kernels).
-func (tb *TB) Compute(d time.Duration) { tb.proc.Sleep(d) }
+func (tb *TB) Compute(d time.Duration) {
+	tb.gpu.busyTime += d
+	tb.proc.Sleep(d)
+}
 
 // RunExclusive charges d of whole-GPU execution: concurrent exclusive
 // kernels serialize on the device. Used for LeNet-class kernels.
 func (tb *TB) RunExclusive(d time.Duration) {
 	tb.gpu.exclusive.Acquire(tb.proc)
+	tb.gpu.busyTime += d
 	tb.proc.Sleep(d)
 	tb.gpu.exclusive.Release()
 }
@@ -207,6 +212,11 @@ func (g *GPU) LaunchPersistent(s *sim.Sim, n int, body func(tb *TB)) error {
 
 // Resident reports currently resident persistent threadblocks.
 func (g *GPU) Resident() int { return g.resident }
+
+// BusyTime reports accumulated kernel execution time (TB-local compute plus
+// exclusive and stream kernels; launch overheads excluded), for SM
+// utilization probes.
+func (g *GPU) BusyTime() time.Duration { return g.busyTime }
 
 // ---------------------------------------------------------------------------
 // Host-centric driver machinery
@@ -281,6 +291,7 @@ func (st *Stream) LaunchN(p *sim.Proc, n int, exec time.Duration, exclusive bool
 	for i := 0; i < n; i++ {
 		d.call(p, d.params.KernelLaunch)
 		p.Sleep(exec / time.Duration(n))
+		st.gpu.busyTime += exec / time.Duration(n)
 		st.gpu.launches++
 	}
 	if exclusive {

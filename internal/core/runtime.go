@@ -54,6 +54,11 @@ type Platform struct {
 	Bypass bool
 	// Tracer, when non-nil, records runtime events (see internal/trace).
 	Tracer *trace.Tracer
+	// Spans, when non-nil, records per-request stage timestamps into a
+	// fixed-memory span table (request-scoped tracing; see internal/trace).
+	// The runtime threads it through to the accelerator-side mqueue views
+	// at Register time.
+	Spans *trace.SpanTable
 }
 
 // DropCause classifies why the runtime discarded a message.
@@ -236,7 +241,9 @@ func (rt *Runtime) Register(acc accel.Accelerator, cfg mqueue.Config, n int) (*A
 	if err != nil {
 		return nil, err
 	}
-	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, acc.Profile())
+	prof := acc.Profile()
+	prof.Spans = rt.plat.Spans
+	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -471,6 +478,9 @@ func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstac
 		}
 	}
 	bq := s.queues[qi]
+	id := trace.SpanID(payload)
+	rt.plat.Spans.Stamp(id, trace.StageDispatch, p.Now())
+	rt.plat.Spans.SetQueue(id, qi)
 	slot, err := bq.q.Push(p, payload, 0)
 	if err != nil {
 		cause := DropOverflow
@@ -478,8 +488,10 @@ func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstac
 			cause = DropStalled
 		}
 		rt.drop(p.Now(), cause, uint64(qi))
+		rt.plat.Spans.Close(id, trace.SpanDropped, p.Now())
 		return
 	}
+	rt.plat.Spans.Stamp(id, trace.StagePushed, p.Now())
 	bq.pending[slot] = append(bq.pending[slot], to)
 	rt.stats.Received++
 	rt.plat.Tracer.Emit(p.Now(), trace.Dispatch, uint64(qi), uint64(slot))
@@ -490,6 +502,8 @@ func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstac
 func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg) {
 	rt := s.rt
 	rt.plat.Tracer.Emit(p.Now(), trace.Drain, uint64(msg.Slot), uint64(msg.Corr))
+	id := trace.SpanID(msg.Payload)
+	rt.plat.Spans.Stamp(id, trace.StageDrain, p.Now())
 	rt.exec(p, rt.plat.Params.ForwardCost)
 	fifo := bq.pending[msg.Corr]
 	if len(fifo) == 0 {
@@ -508,6 +522,7 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 		}
 	}
 	rt.stats.Responded++
+	rt.plat.Spans.Stamp(id, trace.StageForward, p.Now())
 	rt.plat.Tracer.Emit(p.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
 }
 
@@ -566,6 +581,7 @@ func (cb *ClientBinding) QueueIndex() int { return cb.qi }
 func (cb *ClientBinding) forwardOut(p *sim.Proc, msg mqueue.TxMsg) {
 	rt := cb.rt
 	rt.plat.Tracer.Emit(p.Now(), trace.BackendOut, uint64(len(msg.Payload)), uint64(cb.qi))
+	rt.plat.Spans.Stamp(trace.SpanID(msg.Payload), trace.StageBackendOut, p.Now())
 	rt.execParallel(p, rt.plat.Params.ForwardCost)
 	rt.stats.Forwarded++
 	switch cb.proto {
@@ -614,6 +630,7 @@ func (rt *Runtime) Start() error {
 				s.Spawn(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(p *sim.Proc) {
 					for {
 						dg := svc.udpSock.Recv(p)
+						rt.plat.Spans.Stamp(trace.SpanID(dg.Payload), trace.StageSnicRecv, p.Now())
 						rt.exec(p, rt.udpCost())
 						svc.dispatch(p, dg.Payload, replyTo{udpFrom: dg.From}, dg.From)
 					}
@@ -629,6 +646,7 @@ func (rt *Runtime) Start() error {
 							if err != nil {
 								return
 							}
+							rt.plat.Spans.Stamp(trace.SpanID(msg), trace.StageSnicRecv, p.Now())
 							rt.exec(p, rt.tcpCost())
 							svc.dispatch(p, msg, replyTo{conn: conn}, conn.RemoteAddr())
 						}
@@ -695,6 +713,7 @@ func (rt *Runtime) Start() error {
 						cb.outstanding = cb.outstanding[1:]
 					}
 					rt.plat.Tracer.Emit(p.Now(), trace.BackendIn, uint64(len(dg.Payload)), uint64(cb.qi))
+					rt.plat.Spans.Stamp(trace.SpanID(dg.Payload), trace.StageBackendIn, p.Now())
 					if _, err := cb.bq.q.Push(p, dg.Payload, 0); err != nil {
 						rt.drop(p.Now(), DropBackend, uint64(cb.qi))
 					}
@@ -714,6 +733,7 @@ func (rt *Runtime) Start() error {
 					}
 					rt.execParallel(p, rt.tcpCost())
 					rt.plat.Tracer.Emit(p.Now(), trace.BackendIn, uint64(len(msg)), uint64(cb.qi))
+					rt.plat.Spans.Stamp(trace.SpanID(msg), trace.StageBackendIn, p.Now())
 					if _, err := cb.bq.q.Push(p, msg, 0); err != nil {
 						rt.drop(p.Now(), DropBackend, uint64(cb.qi))
 					}

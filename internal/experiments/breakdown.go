@@ -1,0 +1,113 @@
+// The breakdown experiment: a paper-style latency decomposition. Request
+// spans (internal/trace) split each measured request's end-to-end latency
+// into network, SNIC, PCIe/RDMA transfer, queueing and accelerator-execution
+// phases; the phases telescope, so their means sum to the end-to-end mean
+// exactly (the experiment's own consistency check, asserted in tests). With
+// Config.TraceJSON set it also writes the full Chrome trace-event timeline.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lynx/internal/metrics"
+	"lynx/internal/trace"
+	"lynx/internal/workload"
+)
+
+func init() {
+	register("breakdown", "per-request latency decomposition across the Lynx pipeline", runBreakdown)
+}
+
+// breakdownOutcome bundles everything one instrumented run produces.
+type breakdownOutcome struct {
+	res    workload.Result
+	spans  *trace.SpanTable
+	events *trace.Tracer
+	reg    *metrics.Registry
+}
+
+// BreakdownRun drives the breakdown deployment once — the BlueField GPU echo
+// service, with the observability plane either fully enabled or fully
+// disabled — and returns the workload result. Exported so the root-level
+// overhead benchmark can compare traced and untraced runs of the exact same
+// deployment.
+func BreakdownRun(cfg Config, traced bool) workload.Result {
+	return breakdownRun(cfg, traced).res
+}
+
+func breakdownRun(cfg Config, traced bool) breakdownOutcome {
+	e := newEnv(cfg)
+	plat := e.lynxPlatform(platLynxBF)
+	var out breakdownOutcome
+	if traced {
+		out.spans = trace.NewSpanTable(1 << 14)
+		out.events = trace.New(4096)
+		plat.Spans = out.spans
+		plat.Tracer = out.events
+	}
+	addr, rt := e.echoDeployment(plat, 8, 20*time.Microsecond, 256)
+	if traced {
+		out.reg = metrics.NewRegistry()
+		rt.StartMonitor(50*time.Microsecond, out.reg)
+		e.tb.RegisterStats(out.reg)
+	}
+	window := e.cfg.window(20 * time.Millisecond)
+	out.res = e.measure(workload.Config{
+		Proto: workload.UDP, Target: addr, Payload: 128,
+		Clients: 16, Duration: window, Warmup: window / 4,
+		Spans: out.spans,
+	})
+	return out
+}
+
+func runBreakdown(cfg Config) *Report {
+	out := breakdownRun(cfg, true)
+	rep := &Report{
+		ID:      "breakdown",
+		Title:   "Request latency decomposition (Lynx BlueField, 8 mqueues, 20us GPU echo)",
+		Columns: []string{"mean", "p99", "share"},
+	}
+	e2e := out.spans.EndToEnd()
+	var sum time.Duration
+	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
+		h := out.spans.PhaseHist(ph)
+		sum += h.Mean()
+		rep.AddRow(ph.String(), h.Mean(), h.P99(), fmtShare(h.Mean(), e2e.Mean()))
+	}
+	rep.AddRow("phase-sum", sum, "", fmtShare(sum, e2e.Mean()))
+	rep.AddRow("end-to-end", e2e.Mean(), e2e.P99(), "100.0%")
+	rep.Note("workload: %s", out.res.String())
+	rep.Note("spans: begun=%d closed=%d evicted=%d (complete spans only enter the breakdown)",
+		out.spans.Begun(), out.spans.Closed(), out.spans.Evicted())
+	if cfg.TraceJSON != "" {
+		ex := trace.Export{Spans: out.spans, Events: out.events, Series: out.reg.SeriesList()}
+		if err := WriteTrace(cfg.TraceJSON, ex); err != nil {
+			rep.Note("trace export failed: %v", err)
+		} else {
+			rep.Note("trace timeline written to %s", cfg.TraceJSON)
+		}
+	}
+	return rep
+}
+
+func fmtShare(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// WriteTrace writes a Chrome trace-event export to path.
+func WriteTrace(path string, ex trace.Export) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ex.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -42,6 +42,9 @@ type Config struct {
 	// setting: results are collected by sweep index, and every point is
 	// deterministic given (Seed, Scale).
 	Workers int
+	// TraceJSON, when non-empty, makes instrumented experiments (breakdown)
+	// write a Chrome trace-event timeline to this path.
+	TraceJSON string
 }
 
 func (c Config) window(d time.Duration) time.Duration {

@@ -56,6 +56,7 @@ type Link struct {
 	busy      *sim.Resource
 
 	bytesMoved uint64
+	busyTime   time.Duration
 }
 
 // other returns the far endpoint of l as seen from n.
@@ -196,6 +197,7 @@ func (f *Fabric) transfer(p *sim.Proc, from, to *Device, size int) {
 		}
 		p.Sleep(l.latency + ser)
 		l.bytesMoved += uint64(size)
+		l.busyTime += l.latency + ser
 		l.busy.Release()
 	}
 }
@@ -231,3 +233,11 @@ func (f *Fabric) Transfers() uint64 { return f.transfers }
 
 // LinkBytes reports bytes moved across the link (both directions).
 func (l *Link) LinkBytes() uint64 { return l.bytesMoved }
+
+// BusyTime reports accumulated link occupancy (hold time of the link
+// resource across all transfers), for utilization probes.
+func (l *Link) BusyTime() time.Duration { return l.busyTime }
+
+// PathLinks returns the links on the route between two devices, in hop
+// order. The slice is the fabric's route cache — treat it as read-only.
+func (f *Fabric) PathLinks(from, to *Device) []*Link { return f.route(from, to) }

@@ -92,6 +92,9 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum / float64(h.total))
 }
 
+// Sum returns the total of all recorded values (exact, not re-bucketed).
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
 // Min returns the smallest recorded value (0 if empty).
 func (h *Histogram) Min() time.Duration {
 	if h.total == 0 {
@@ -189,6 +192,27 @@ func (h *Histogram) CDF() []CDFPoint {
 type CDFPoint struct {
 	Value    time.Duration
 	Fraction float64
+}
+
+// Bucket is one non-empty histogram bucket.
+type Bucket struct {
+	// Value is the bucket's representative value (its upper edge).
+	Value time.Duration
+	// Count is the number of observations in the bucket.
+	Count uint64
+}
+
+// Buckets returns the non-empty buckets in ascending value order, for
+// structured dumps that would otherwise re-derive counts from CDF().
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		out = append(out, Bucket{Value: time.Duration(bucketMid(i)), Count: c})
+	}
+	return out
 }
 
 // String summarizes the histogram.

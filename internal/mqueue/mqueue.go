@@ -36,6 +36,7 @@ import (
 	"lynx/internal/memdev"
 	"lynx/internal/rdma"
 	"lynx/internal/sim"
+	"lynx/internal/trace"
 )
 
 // Kind distinguishes the two mqueue flavours of §4.3.
@@ -333,6 +334,10 @@ func (q *Queue) Poll(p *sim.Proc) (TxMsg, bool) {
 // InFlight reports RX messages pushed but not yet known consumed.
 func (q *Queue) InFlight() int { return int(q.rxHead - q.rxConsumed) }
 
+// TxBacklog reports TX messages the accelerator has published (per the
+// cached counters) that the MQ manager has not yet drained.
+func (q *Queue) TxBacklog() int { return int(q.txSeen - q.txTail) }
+
 // Counters returns the accelerator progress counters as last refreshed: RX
 // messages consumed and TX messages produced. The MQ-manager watchdog uses
 // them to detect a stalled accelerator context (in-flight messages with
@@ -444,6 +449,9 @@ type AccessProfile struct {
 	// stall window the accessing context freezes until the window closes.
 	// Nil injects nothing.
 	Faults *fault.Plan
+	// Spans, when non-nil, receives accelerator-side stage timestamps
+	// (RX consume, TX publish) for request-scoped tracing.
+	Spans *trace.SpanTable
 }
 
 // AccelQueue is the accelerator-side handle: the lightweight I/O layer that
@@ -552,6 +560,7 @@ func (aq *AccelQueue) TryRecv(p *sim.Proc) (Msg, bool) {
 	if hdr[offError] != 0 {
 		aq.errs++
 	}
+	aq.prof.Spans.Stamp(trace.SpanID(payload), trace.StageAccelRecv, p.Now())
 	return Msg{Payload: payload, Err: hdr[offError], Slot: slot}, true
 }
 
@@ -633,6 +642,7 @@ func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatu
 	putLeUint64(cnt[:], aq.txHead)
 	aq.region.WriteLocal(aq.lay.hdr+hdrTxSent, cnt[:])
 	aq.sent++
+	aq.prof.Spans.Stamp(trace.SpanID(payload), trace.StageAccelSent, p.Now())
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"lynx/internal/cpuarch"
 	"lynx/internal/fabric"
 	"lynx/internal/fault"
+	"lynx/internal/metrics"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
@@ -130,6 +131,27 @@ func (m *Machine) AddVCA(name string) *accel.VCA {
 // AddClient adds a client-only host to the network (sockperf machines).
 func (tb *Testbed) AddClient(name string) *netstack.Host {
 	return tb.Net.AddHost(name)
+}
+
+// RegisterStats publishes the deployment-wide counters (fault injection,
+// PCIe fabric) into reg as component snapshots.
+func (tb *Testbed) RegisterStats(reg *metrics.Registry) {
+	reg.AddStats("fabric", func() []metrics.Stat {
+		return []metrics.Stat{{Name: "transfers", Value: float64(tb.Fab.Transfers())}}
+	})
+	reg.AddStats("faults", func() []metrics.Stat {
+		st := tb.Faults.Stats()
+		return []metrics.Stat{
+			{Name: "datagrams_dropped", Value: float64(st.DatagramsDropped)},
+			{Name: "datagrams_duplicated", Value: float64(st.DatagramsDuplicated)},
+			{Name: "datagrams_delayed", Value: float64(st.DatagramsDelayed)},
+			{Name: "tcp_delays", Value: float64(st.TCPDelays)},
+			{Name: "rdma_errors", Value: float64(st.RDMAErrors)},
+			{Name: "rdma_spikes", Value: float64(st.RDMASpikes)},
+			{Name: "pcie_spikes", Value: float64(st.PCIeSpikes)},
+			{Name: "stall_hits", Value: float64(st.StallHits)},
+		}
+	})
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,412 @@
+// Request-scoped span tracing: every request is identified by its workload
+// sequence number (the 8-byte little-endian payload prefix all services
+// echo), and its virtual timestamps are recorded stage by stage as it moves
+// netstack -> dispatcher -> mqueue RX ring -> accelerator -> TX ring ->
+// MQ-manager drain -> forward -> client. The table is fixed memory (a ring
+// indexed by span ID), all methods are safe on a nil receiver, and nothing
+// allocates on the record path, so enabling spans never perturbs the
+// simulator hot path and disabling them costs one nil check.
+package trace
+
+import (
+	"time"
+
+	"lynx/internal/metrics"
+	"lynx/internal/sim"
+)
+
+// Stage indexes one per-request timestamp within a Span.
+type Stage uint8
+
+// Stages in path order. Not every span visits every stage: a dropped request
+// stops at StageDispatch, a client-mqueue (backend) round trip only touches
+// the Backend stages.
+const (
+	// StageClientSend: the load generator issued the request.
+	StageClientSend Stage = iota
+	// StageSnicRecv: the network server received it from the socket.
+	StageSnicRecv
+	// StageDispatch: the dispatcher picked a queue (pre-RDMA-push).
+	StageDispatch
+	// StagePushed: the RDMA write into the RX ring completed.
+	StagePushed
+	// StageAccelRecv: the accelerator consumed it from the RX ring.
+	StageAccelRecv
+	// StageAccelSent: the accelerator published its response in the TX ring.
+	StageAccelSent
+	// StageDrain: the MQ manager drained the response from the TX ring.
+	StageDrain
+	// StageForward: the response left the SNIC toward the client.
+	StageForward
+	// StageClientRecv: the client received the response (set by Close).
+	StageClientRecv
+	// StageBackendOut: a client-mqueue message left toward its backend.
+	StageBackendOut
+	// StageBackendIn: a backend response entered the client mqueue.
+	StageBackendIn
+	// NumStages bounds the per-span timestamp array.
+	NumStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageClientSend:
+		return "client-send"
+	case StageSnicRecv:
+		return "snic-recv"
+	case StageDispatch:
+		return "dispatch"
+	case StagePushed:
+		return "pushed"
+	case StageAccelRecv:
+		return "accel-recv"
+	case StageAccelSent:
+		return "accel-sent"
+	case StageDrain:
+		return "drain"
+	case StageForward:
+		return "forward"
+	case StageClientRecv:
+		return "client-recv"
+	case StageBackendOut:
+		return "backend-out"
+	case StageBackendIn:
+		return "backend-in"
+	default:
+		return "unknown"
+	}
+}
+
+// Phase is one bucket of the paper-style latency decomposition (§6). The
+// five phases telescope: for a span with all stages recorded their sum is
+// exactly the end-to-end latency.
+type Phase uint8
+
+const (
+	// PhaseNetwork: client -> SNIC wire time, both directions.
+	PhaseNetwork Phase = iota
+	// PhaseSNIC: SNIC processing (network stack + dispatch + forward CPU).
+	PhaseSNIC
+	// PhaseTransfer: the one-sided RDMA push into the accelerator RX ring.
+	PhaseTransfer
+	// PhaseQueueing: time spent sitting in rings (RX wait + TX drain wait).
+	PhaseQueueing
+	// PhaseExec: accelerator execution between RX consume and TX publish.
+	PhaseExec
+	// NumPhases bounds the per-table histogram array.
+	NumPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNetwork:
+		return "network"
+	case PhaseSNIC:
+		return "snic"
+	case PhaseTransfer:
+		return "transfer"
+	case PhaseQueueing:
+		return "queueing"
+	case PhaseExec:
+		return "execution"
+	default:
+		return "unknown"
+	}
+}
+
+// SpanStatus is a span's lifecycle state.
+type SpanStatus uint8
+
+const (
+	// SpanOpen: begun, response not yet accounted for.
+	SpanOpen SpanStatus = iota
+	// SpanDone: the client received the response.
+	SpanDone
+	// SpanDropped: the runtime shed the request (full or stalled queue).
+	SpanDropped
+	// SpanLost: the client gave up (retransmission budget exhausted).
+	SpanLost
+)
+
+// String names the status.
+func (s SpanStatus) String() string {
+	switch s {
+	case SpanOpen:
+		return "open"
+	case SpanDone:
+		return "done"
+	case SpanDropped:
+		return "dropped"
+	case SpanLost:
+		return "lost"
+	default:
+		return "unknown"
+	}
+}
+
+// SpanID extracts the request-scoped span ID from a message payload: the
+// workload convention's 8-byte little-endian sequence prefix, which servers
+// echo in responses and which therefore survives the whole path through
+// mqueue rings and accelerator code. Returns 0 (meaning "no span") for
+// payloads too short to carry one.
+func SpanID(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Span is one request's recorded trajectory.
+type Span struct {
+	ID     uint64
+	Status SpanStatus
+	// Queue is the server mqueue the dispatcher picked (-1 before dispatch).
+	Queue int32
+	// stamps holds one virtual timestamp per stage, -1 when unset.
+	stamps [NumStages]sim.Time
+}
+
+// At returns the timestamp of one stage and whether it was recorded.
+func (s *Span) At(st Stage) (sim.Time, bool) {
+	if st >= NumStages || s.stamps[st] < 0 {
+		return 0, false
+	}
+	return s.stamps[st], true
+}
+
+// Latency returns the stage-to-stage delta, valid only when both are set.
+func (s *Span) Latency(from, to Stage) (d sim.Time, ok bool) {
+	a, oka := s.At(from)
+	b, okb := s.At(to)
+	if !oka || !okb {
+		return 0, false
+	}
+	return b - a, true
+}
+
+// complete reports whether every stage of the service path was recorded.
+func (s *Span) complete() bool {
+	for st := StageClientSend; st <= StageClientRecv; st++ {
+		if s.stamps[st] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// phases computes the telescoping five-phase decomposition. Valid only on
+// complete spans; the five values sum exactly to client-recv minus
+// client-send.
+func (s *Span) phases() [NumPhases]sim.Time {
+	st := &s.stamps
+	return [NumPhases]sim.Time{
+		PhaseNetwork:  (st[StageSnicRecv] - st[StageClientSend]) + (st[StageClientRecv] - st[StageForward]),
+		PhaseSNIC:     (st[StageDispatch] - st[StageSnicRecv]) + (st[StageForward] - st[StageDrain]),
+		PhaseTransfer: st[StagePushed] - st[StageDispatch],
+		PhaseQueueing: (st[StageAccelRecv] - st[StagePushed]) + (st[StageDrain] - st[StageAccelSent]),
+		PhaseExec:     st[StageAccelSent] - st[StageAccelRecv],
+	}
+}
+
+// SpanTable is a fixed-memory table of request spans, indexed by span ID
+// modulo capacity. A nil *SpanTable is valid and records nothing, so every
+// call site is a single nil check when tracing is disabled; when enabled, no
+// method on the record path (Begin/Stamp/SetQueue/Close) allocates.
+type SpanTable struct {
+	slots []Span
+
+	begun   uint64
+	closed  uint64
+	evicted uint64
+	done    [NumPhases]*metrics.Histogram
+	e2e     *metrics.Histogram
+}
+
+// NewSpanTable creates a table retaining up to capacity concurrent spans
+// (a newer span evicts the slot of an older one that maps to it).
+func NewSpanTable(capacity int) *SpanTable {
+	if capacity <= 0 {
+		capacity = 1 << 12
+	}
+	t := &SpanTable{slots: make([]Span, capacity), e2e: metrics.NewHistogram()}
+	for i := range t.slots {
+		t.reset(&t.slots[i], 0)
+	}
+	for p := range t.done {
+		t.done[p] = metrics.NewHistogram()
+	}
+	return t
+}
+
+func (t *SpanTable) reset(s *Span, id uint64) {
+	s.ID = id
+	s.Status = SpanOpen
+	s.Queue = -1
+	for i := range s.stamps {
+		s.stamps[i] = -1
+	}
+}
+
+func (t *SpanTable) slot(id uint64) *Span {
+	return &t.slots[id%uint64(len(t.slots))]
+}
+
+// Begin opens the span for a request issued at the given time. ID 0 means
+// "no span" and is ignored. Re-beginning a live span is a no-op; beginning
+// over a different span evicts it (the table is a ring).
+func (t *SpanTable) Begin(id uint64, at sim.Time) {
+	if t == nil || id == 0 {
+		return
+	}
+	s := t.slot(id)
+	if s.ID == id {
+		return
+	}
+	if s.ID != 0 && s.Status == SpanOpen {
+		t.evicted++
+	}
+	t.reset(s, id)
+	s.stamps[StageClientSend] = at
+	t.begun++
+}
+
+// Stamp records the stage timestamp of a live span. First write wins:
+// retransmitted duplicates of the same request cannot move an earlier
+// timestamp or make stages non-monotone. Unknown IDs and closed spans are
+// ignored.
+func (t *SpanTable) Stamp(id uint64, st Stage, at sim.Time) {
+	if t == nil || id == 0 || st >= NumStages {
+		return
+	}
+	s := t.slot(id)
+	if s.ID != id || s.Status != SpanOpen || s.stamps[st] >= 0 {
+		return
+	}
+	s.stamps[st] = at
+}
+
+// SetQueue records which server mqueue the dispatcher picked (first wins).
+func (t *SpanTable) SetQueue(id uint64, queue int) {
+	if t == nil || id == 0 {
+		return
+	}
+	s := t.slot(id)
+	if s.ID != id || s.Status != SpanOpen || s.Queue >= 0 {
+		return
+	}
+	s.Queue = int32(queue)
+}
+
+// Close finishes a span exactly once: the first Close wins and later ones
+// (a drop followed by the retried request's response, say) are no-ops.
+// SpanDone stamps StageClientRecv and, when the span visited every service
+// stage, feeds the phase decomposition histograms.
+func (t *SpanTable) Close(id uint64, status SpanStatus, at sim.Time) {
+	if t == nil || id == 0 || status == SpanOpen {
+		return
+	}
+	s := t.slot(id)
+	if s.ID != id || s.Status != SpanOpen {
+		return
+	}
+	s.Status = status
+	t.closed++
+	if status != SpanDone {
+		return
+	}
+	if s.stamps[StageClientRecv] < 0 {
+		s.stamps[StageClientRecv] = at
+	}
+	if !s.complete() {
+		return
+	}
+	for p, d := range s.phases() {
+		t.done[p].RecordN(time.Duration(d), 1)
+	}
+	t.e2e.RecordN(s.stamps[StageClientRecv].Sub(s.stamps[StageClientSend]), 1)
+}
+
+// Span returns a copy of the span for id, if the table still holds it.
+func (t *SpanTable) Span(id uint64) (Span, bool) {
+	if t == nil || id == 0 {
+		return Span{}, false
+	}
+	s := t.slot(id)
+	if s.ID != id {
+		return Span{}, false
+	}
+	return *s, true
+}
+
+// Spans returns copies of every retained span in ascending ID order (the
+// deterministic order exports use).
+func (t *SpanTable) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.slots))
+	for i := range t.slots {
+		if t.slots[i].ID != 0 {
+			out = append(out, t.slots[i])
+		}
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: nearly sorted already
+		for j := i; j > 0 && out[j-1].ID > out[j].ID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// PhaseHist returns the latency histogram of one decomposition phase,
+// accumulated over spans closed SpanDone with all stages recorded.
+func (t *SpanTable) PhaseHist(p Phase) *metrics.Histogram {
+	if t == nil || p >= NumPhases {
+		return nil
+	}
+	return t.done[p]
+}
+
+// EndToEnd returns the end-to-end latency histogram over the same spans that
+// feed the phase histograms (so phase means and this mean are comparable).
+func (t *SpanTable) EndToEnd() *metrics.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.e2e
+}
+
+// Begun reports spans opened.
+func (t *SpanTable) Begun() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.begun
+}
+
+// Closed reports spans finished with any terminal status.
+func (t *SpanTable) Closed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.closed
+}
+
+// Evicted reports still-open spans overwritten by ring wraparound.
+func (t *SpanTable) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted
+}
+
+// Cap reports the table capacity.
+func (t *SpanTable) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}

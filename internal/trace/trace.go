@@ -22,8 +22,8 @@ const (
 	// Dispatch: the dispatcher pushed it into an mqueue (arg0 = queue
 	// index, arg1 = RX slot).
 	Dispatch
-	// Drain: the MQ manager drained a TX message (arg0 = queue index,
-	// arg1 = correlation slot).
+	// Drain: the MQ manager drained a TX message (arg0 = TX slot, arg1 =
+	// correlation/request slot).
 	Drain
 	// Forward: a response left toward a client (arg0 = payload bytes).
 	Forward
@@ -80,9 +80,36 @@ type Event struct {
 	Arg1 uint64
 }
 
-// String formats the event for dumps.
+// String formats the event for dumps, labelling Arg0/Arg1 per kind.
 func (e Event) String() string {
-	return fmt.Sprintf("%-12v %-11s arg0=%d arg1=%d", time.Duration(e.At), e.Kind, e.Arg0, e.Arg1)
+	var args string
+	switch e.Kind {
+	case Recv:
+		args = fmt.Sprintf("bytes=%d port=%d", e.Arg0, e.Arg1)
+	case Dispatch:
+		args = fmt.Sprintf("queue=%d slot=%d", e.Arg0, e.Arg1)
+	case Drain:
+		args = fmt.Sprintf("slot=%d corr=%d", e.Arg0, e.Arg1)
+	case Forward:
+		args = fmt.Sprintf("bytes=%d", e.Arg0)
+	case Relay:
+		args = fmt.Sprintf("stage=%d", e.Arg0)
+	case Drop:
+		args = fmt.Sprintf("queue=%d cause=%d", e.Arg0, e.Arg1)
+	case BackendOut, BackendIn:
+		args = fmt.Sprintf("bytes=%d queue=%d", e.Arg0, e.Arg1)
+	case Retry:
+		args = fmt.Sprintf("queue=%d attempt=%d", e.Arg0, e.Arg1)
+	case Failover:
+		dir := "failed"
+		if e.Arg1 == 1 {
+			dir = "restored"
+		}
+		args = fmt.Sprintf("queue=%d %s", e.Arg0, dir)
+	default:
+		args = fmt.Sprintf("arg0=%d arg1=%d", e.Arg0, e.Arg1)
+	}
+	return fmt.Sprintf("%-12v %-11s %s", time.Duration(e.At), e.Kind, args)
 }
 
 // Tracer is a fixed-capacity event ring. A nil *Tracer is valid and records

@@ -17,6 +17,7 @@ import (
 	"lynx/internal/metrics"
 	"lynx/internal/netstack"
 	"lynx/internal/sim"
+	"lynx/internal/trace"
 )
 
 // SeqBytes is the request/response sequence header length.
@@ -77,6 +78,10 @@ type Config struct {
 	// BasePort is the first client-side UDP port (default 20000). Give
 	// each concurrently running generator its own range.
 	BasePort uint16
+	// Spans, when non-nil, opens a request span per measured request (the
+	// sequence number is the span ID, matching the server-side stamps) and
+	// closes it on response, loss, or timeout.
+	Spans *trace.SpanTable
 }
 
 // Result summarizes one run.
@@ -177,6 +182,15 @@ func (g *Generator) request() ([]byte, uint64) {
 	return buf, g.seq
 }
 
+// begin opens a span for a measured request. Warmup requests are not traced,
+// so warmup transients never skew the latency breakdown; server-side stamps
+// for unopened IDs are no-ops.
+func (g *Generator) begin(seq uint64, at sim.Time) {
+	if g.measuring {
+		g.cfg.Spans.Begin(seq, at)
+	}
+}
+
 // record notes a response.
 func (g *Generator) record(msg []byte, at sim.Time) {
 	seq, ok := Seq(msg)
@@ -191,6 +205,7 @@ func (g *Generator) record(msg []byte, at sim.Time) {
 	if g.measuring && sent >= g.startedAt {
 		g.result.Received++
 		g.result.Hist.Record(at.Sub(sent))
+		g.cfg.Spans.Close(seq, trace.SpanDone, at)
 	}
 }
 
@@ -252,6 +267,7 @@ func (g *Generator) runUDP() {
 			for p.Now() < end {
 				buf, seq := g.request()
 				g.inflight[seq] = p.Now()
+				g.begin(seq, p.Now())
 				sock.SendTo(g.cfg.Target, buf)
 				timeout := g.cfg.Timeout
 				attempts := 0
@@ -271,6 +287,7 @@ func (g *Generator) runUDP() {
 						if g.measuring {
 							g.result.Lost++
 						}
+						g.cfg.Spans.Close(seq, trace.SpanLost, p.Now())
 						break
 					}
 					// Retransmit the same sequence with doubled patience;
@@ -304,6 +321,7 @@ func (g *Generator) runUDPOpenLoop() {
 			for p.Now() < end {
 				buf, seq := g.request()
 				g.inflight[seq] = p.Now()
+				g.begin(seq, p.Now())
 				sock.SendTo(g.cfg.Target, buf)
 				p.Sleep(g.gap(per))
 			}
@@ -346,6 +364,7 @@ func (g *Generator) runTCP() {
 				for p.Now() < end {
 					buf, seq := g.request()
 					g.inflight[seq] = p.Now()
+					g.begin(seq, p.Now())
 					if conn.Send(p, buf) != nil {
 						return
 					}
@@ -356,6 +375,7 @@ func (g *Generator) runTCP() {
 			for p.Now() < end {
 				buf, seq := g.request()
 				g.inflight[seq] = p.Now()
+				g.begin(seq, p.Now())
 				if conn.Send(p, buf) != nil {
 					return
 				}
@@ -368,6 +388,7 @@ func (g *Generator) runTCP() {
 					if g.measuring {
 						g.result.Lost++
 					}
+					g.cfg.Spans.Close(seq, trace.SpanLost, p.Now())
 					continue
 				}
 				g.record(msg, p.Now())

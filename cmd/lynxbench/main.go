@@ -8,6 +8,7 @@
 //	lynxbench -exp fig6 -scale 0.5  # shorter measurement windows
 //	lynxbench -seed 7               # different deterministic seed
 //	lynxbench -exp all -parallel 1  # force sequential sweeps
+//	lynxbench -exp all -invariants  # assert runtime invariants on every run
 //
 // Output is a text table per experiment, with the paper's numbers alongside
 // the measured ones. Runs are bit-reproducible for a given seed and scale:
@@ -19,51 +20,62 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"lynx/internal/check"
 	"lynx/internal/experiments"
 	"lynx/internal/fault"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lynxbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "", "experiment id to run, or 'all'")
-		list       = flag.Bool("list", false, "list available experiments")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		scale      = flag.Float64("scale", 1.0, "measurement window scale factor")
-		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
-		loss       = flag.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
-		parallel   = flag.Int("parallel", 0, "sweep workers: 0 = one per CPU, 1 = sequential, n = n workers")
-		traceJSON  = flag.String("trace-json", "", "write a Chrome trace-event timeline from instrumented experiments (breakdown) to this file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp        = fs.String("exp", "", "experiment id to run, or 'all'")
+		list       = fs.Bool("list", false, "list available experiments")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		scale      = fs.Float64("scale", 1.0, "measurement window scale factor")
+		csv        = fs.Bool("csv", false, "emit CSV instead of text tables")
+		loss       = fs.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
+		parallel   = fs.Int("parallel", 0, "sweep workers: 0 = one per CPU, 1 = sequential, n = n workers")
+		invariants = fs.Bool("invariants", false, "arm runtime invariant checks on every simulation; non-zero exit on any violation")
+		traceJSON  = fs.String("trace-json", "", "write a Chrome trace-event timeline from instrumented experiments (breakdown) to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list || *exp == "" {
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, id := range experiments.List() {
-			fmt.Printf("  %-18s %s\n", id, experiments.Describe(id))
+			fmt.Fprintf(stdout, "  %-18s %s\n", id, experiments.Describe(id))
 		}
 		if *exp == "" {
-			fmt.Println("\nrun one with: lynxbench -exp <id>   (or -exp all)")
+			fmt.Fprintln(stdout, "\nrun one with: lynxbench -exp <id>   (or -exp all)")
 		}
-		return
+		return 0
 	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lynxbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lynxbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -80,32 +92,55 @@ func main() {
 	if *loss > 0 {
 		cfg.Faults = fault.Config{Seed: *seed, DropRate: *loss}
 	}
+	if *invariants {
+		cfg.Invariants = check.NewAggregate()
+	}
+	failed := false
 	for _, id := range ids {
 		start := time.Now()
 		report, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lynxbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
 		}
+		failed = failed || report.Failed
 		if *csv {
-			fmt.Print(report.CSV())
+			fmt.Fprint(stdout, report.CSV())
 			continue
 		}
-		fmt.Println(report)
-		fmt.Printf("  (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, report)
+		fmt.Fprintf(stdout, "  (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lynxbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "lynxbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
 		}
 	}
+
+	if *invariants {
+		rep := cfg.Invariants.Report()
+		// Keep -csv output machine-parseable: status goes to stderr there.
+		w := stdout
+		if *csv {
+			w = stderr
+		}
+		fmt.Fprintf(w, "%s (%d simulations)\n", rep, cfg.Invariants.Runs())
+		if !rep.OK() {
+			return 1
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "lynxbench: scorecard claims FAILED")
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fig6", "fig7", "scorecard", "sec62-innova"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "no-such-experiment"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown experiment: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Error("error not printed to stderr")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestSmallExperimentWithInvariants(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "sec51-barrier", "-scale", "0.1", "-invariants"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "sec51-barrier") {
+		t.Error("report missing")
+	}
+	if !strings.Contains(s, "invariants: ok") {
+		t.Errorf("invariant summary missing:\n%s", s)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "sec511-vma", "-scale", "0.1", "-csv"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "sec511-vma,") {
+		t.Errorf("CSV output malformed:\n%s", out.String())
+	}
+}

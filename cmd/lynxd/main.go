@@ -8,11 +8,13 @@
 //	lynxd -app lenet               # LeNet digit-recognition service
 //	lynxd -platform xeon -cores 6  # run Lynx on host cores instead
 //	lynxd -rate 50000 -secs 2      # open-loop load, simulated seconds
+//	lynxd -invariants              # arm runtime invariant checks
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,26 +26,40 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lynxd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app      = flag.String("app", "echo", "service to run: echo | lenet")
-		platform = flag.String("platform", "bluefield", "lynx platform: bluefield | xeon")
-		cores    = flag.Int("cores", 7, "worker cores for the Lynx runtime")
-		queues   = flag.Int("queues", 8, "server mqueues / GPU threadblocks (echo app)")
-		rate     = flag.Float64("rate", 0, "open-loop request rate (0 = closed loop)")
-		clients  = flag.Int("clients", 16, "closed-loop client count")
-		retries  = flag.Int("retries", 0, "closed-loop same-seq retransmits before a request counts lost")
-		secs     = flag.Float64("secs", 1.0, "simulated seconds to run")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		traceN   = flag.Int("trace", 0, "dump the last N runtime trace events")
-		traceOut = flag.String("trace-json", "", "write a Chrome trace-event timeline (spans, samples, events) to this file")
-		loss     = flag.Float64("loss", 0, "inject datagram drop probability (0..1)")
-		dup      = flag.Float64("dup", 0, "inject datagram duplication probability (0..1)")
-		rdmaErr  = flag.Float64("rdma-err", 0, "inject RDMA completion error probability (0..1)")
-		stallQ   = flag.Int("stall-queue", -1, "accelerator queue to stall (-1 = none)")
-		stallAt  = flag.Duration("stall-at", 50*time.Millisecond, "when the stall window opens")
-		stallFor = flag.Duration("stall-for", 100*time.Millisecond, "how long the stalled queue stays dead")
+		app        = fs.String("app", "echo", "service to run: echo | lenet")
+		platform   = fs.String("platform", "bluefield", "lynx platform: bluefield | xeon")
+		cores      = fs.Int("cores", 7, "worker cores for the Lynx runtime")
+		queues     = fs.Int("queues", 8, "server mqueues / GPU threadblocks (echo app)")
+		rate       = fs.Float64("rate", 0, "open-loop request rate (0 = closed loop)")
+		clients    = fs.Int("clients", 16, "closed-loop client count")
+		retries    = fs.Int("retries", 0, "closed-loop same-seq retransmits before a request counts lost")
+		secs       = fs.Float64("secs", 1.0, "simulated seconds to run")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		traceN     = fs.Int("trace", 0, "dump the last N runtime trace events")
+		traceOut   = fs.String("trace-json", "", "write a Chrome trace-event timeline (spans, samples, events) to this file")
+		invariants = fs.Bool("invariants", false, "arm runtime invariant checks; non-zero exit on any violation")
+		loss       = fs.Float64("loss", 0, "inject datagram drop probability (0..1)")
+		dup        = fs.Float64("dup", 0, "inject datagram duplication probability (0..1)")
+		rdmaErr    = fs.Float64("rdma-err", 0, "inject RDMA completion error probability (0..1)")
+		stallQ     = fs.Int("stall-queue", -1, "accelerator queue to stall (-1 = none)")
+		stallAt    = fs.Duration("stall-at", 50*time.Millisecond, "when the stall window opens")
+		stallFor   = fs.Duration("stall-for", 100*time.Millisecond, "how long the stalled queue stays dead")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lynxd:", err)
+		return 1
+	}
 
 	fc := lynx.FaultConfig{
 		Seed: *seed, DropRate: *loss, DupRate: *dup, RDMAErrRate: *rdmaErr,
@@ -51,7 +67,11 @@ func main() {
 	if *stallQ >= 0 {
 		fc.Stalls = []lynx.FaultStall{{Accel: "gpu0", Queue: *stallQ, At: *stallAt, For: *stallFor}}
 	}
-	cluster := lynx.NewCluster(lynx.WithSeed(*seed), lynx.WithFaults(fc))
+	opts := []lynx.Option{lynx.WithSeed(*seed), lynx.WithFaults(fc)}
+	if *invariants {
+		opts = append(opts, lynx.WithInvariants())
+	}
+	cluster := lynx.NewCluster(opts...)
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
@@ -85,11 +105,14 @@ func main() {
 	case "echo":
 		payload = 64
 		h, err := srv.Register(gpu, lynx.QueueConfig{Kind: lynx.ServerQueue, Slots: 16, SlotSize: 128}, *queues)
-		check(err)
-		_, err = srv.AddService(lynx.UDP, 7000, nil, *queues, h)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := srv.AddService(lynx.UDP, 7000, nil, *queues, h); err != nil {
+			return fail(err)
+		}
 		qs := h.AccelQueues()
-		check(gpu.LaunchPersistent(cluster.Testbed().Sim, *queues, func(tb *lynx.TB) {
+		if err := gpu.LaunchPersistent(cluster.Testbed().Sim, *queues, func(tb *lynx.TB) {
 			aq := qs[tb.Index()]
 			for {
 				m := aq.Recv(tb.Proc())
@@ -98,20 +121,25 @@ func main() {
 					return
 				}
 			}
-		}))
+		}); err != nil {
+			return fail(err)
+		}
 	case "lenet":
 		payload = workload.SeqBytes + lenet.InputBytes
 		net := lenet.New(42)
 		h, err := srv.Register(gpu, lynx.QueueConfig{Kind: lynx.ServerQueue, Slots: 16, SlotSize: payload + 16}, 1)
-		check(err)
-		_, err = srv.AddService(lynx.UDP, 7000, nil, 1, h)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := srv.AddService(lynx.UDP, 7000, nil, 1, h); err != nil {
+			return fail(err)
+		}
 		aq := h.AccelQueues()[0]
 		svcTime := cluster.Params().LeNetServiceK40
 		body = func(seq uint64, buf []byte) {
 			copy(buf[workload.SeqBytes:], lenet.RenderDigit(int(seq%10), 0, 0))
 		}
-		check(gpu.LaunchPersistent(cluster.Testbed().Sim, 1, func(tb *lynx.TB) {
+		if err := gpu.LaunchPersistent(cluster.Testbed().Sim, 1, func(tb *lynx.TB) {
 			for {
 				m := aq.Recv(tb.Proc())
 				resp := make([]byte, workload.SeqBytes+1)
@@ -124,19 +152,23 @@ func main() {
 					return
 				}
 			}
-		}))
+		}); err != nil {
+			return fail(err)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "lynxd: unknown app", *app)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "lynxd: unknown app", *app)
+		return 2
 	}
-	check(srv.Start())
+	if err := srv.Start(); err != nil {
+		return fail(err)
+	}
 	if reg != nil {
 		srv.StartMonitor(50*time.Microsecond, reg)
 		cluster.Testbed().RegisterStats(reg)
 	}
 
 	target := plat.NetHost.Addr(7000)
-	fmt.Printf("lynxd: %s service on %s (%s, %d cores), %d mqueues\n",
+	fmt.Fprintf(stdout, "lynxd: %s service on %s (%s, %d cores), %d mqueues\n",
 		*app, target, *platform, *cores, *queues)
 
 	window := time.Duration(*secs * float64(time.Second))
@@ -153,27 +185,37 @@ func main() {
 	for elapsed := time.Duration(0); elapsed < window+window/10; elapsed += step {
 		cluster.Run(step)
 		st := srv.Stats()
-		fmt.Printf("  t=%-8v %s inflight~%d\n",
+		fmt.Fprintf(stdout, "  t=%-8v %s inflight~%d\n",
 			cluster.Now().Round(time.Millisecond), st, st.Received-st.Responded)
 	}
 	cluster.Run(50 * time.Millisecond)
-	fmt.Printf("\nresult: %v\n", *res)
+	fmt.Fprintf(stdout, "\nresult: %v\n", *res)
 	if fc.Enabled() {
-		fmt.Printf("faults injected: %s\n", cluster.FaultStats())
+		fmt.Fprintf(stdout, "faults injected: %s\n", cluster.FaultStats())
 	}
 	if tracer != nil && *traceN > 0 {
-		fmt.Printf("\ntrace summary: %s\nlast %d events:\n", tracer.Summary(), *traceN)
+		fmt.Fprintf(stdout, "\ntrace summary: %s\nlast %d events:\n", tracer.Summary(), *traceN)
 		for _, ev := range tracer.Tail(*traceN) {
-			fmt.Println(" ", ev)
+			fmt.Fprintln(stdout, " ", ev)
 		}
 	}
 	if *traceOut != "" {
 		ex := trace.Export{Spans: spans, Events: tracer, Series: reg.SeriesList()}
-		check(writeTrace(*traceOut, ex))
-		fmt.Printf("trace timeline written to %s (spans begun=%d closed=%d evicted=%d)\n",
+		if err := writeTrace(*traceOut, ex); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "trace timeline written to %s (spans begun=%d closed=%d evicted=%d)\n",
 			*traceOut, spans.Begun(), spans.Closed(), spans.Evicted())
 	}
 	cluster.Close()
+	if *invariants {
+		rep := cluster.InvariantReport()
+		fmt.Fprintln(stdout, rep)
+		if !rep.OK() {
+			return 1
+		}
+	}
+	return 0
 }
 
 // writeTrace writes the Chrome trace-event export to path.
@@ -187,11 +229,4 @@ func writeTrace(path string, ex trace.Export) error {
 		return err
 	}
 	return f.Close()
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lynxd:", err)
-		os.Exit(1)
-	}
 }

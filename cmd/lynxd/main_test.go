@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEchoSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-secs", "0.05", "-clients", "4", "-queues", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "echo service on") {
+		t.Error("banner missing")
+	}
+	if !strings.Contains(s, "result:") {
+		t.Error("final result missing")
+	}
+}
+
+func TestLenetSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-app", "lenet", "-secs", "0.02", "-clients", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "lenet service on") {
+		t.Error("banner missing")
+	}
+}
+
+func TestInvariantsFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-secs", "0.02", "-clients", "4", "-queues", "2", "-invariants"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "invariants: ok") {
+		t.Errorf("invariant report missing from output:\n%s", out.String())
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-app", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown app: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown app") {
+		t.Error("error not printed to stderr")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -21,8 +22,16 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit a structured JSON dump instead of text")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lynxtopo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit a structured JSON dump instead of text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	p := model.Default()
 	tb := snic.NewTestbed(1, &p)
 	server := tb.NewMachine("server1", 6)
@@ -34,7 +43,8 @@ func main() {
 	tb.AddClient("client1")
 	tb.AddClient("client2")
 	if err := tb.Validate(server, remote); err != nil {
-		panic(err)
+		fmt.Fprintln(stderr, "lynxtopo:", err)
+		return 1
 	}
 
 	if *jsonOut {
@@ -70,21 +80,22 @@ func main() {
 				{Name: "memcached_op_xeon_us", Value: usec(p.MemcachedOpXeon)},
 			}
 		})
-		if err := reg.Dump(os.Stdout); err != nil {
-			panic(err)
+		if err := reg.Dump(stdout); err != nil {
+			fmt.Fprintln(stderr, "lynxtopo:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	fmt.Println("Reference topology (the paper's testbed, §6):")
-	fmt.Printf("  server1: 6 Xeon cores, BlueField SNIC (8x ARM A72), %s (%d TBs), %s (3x E3/SGX)\n",
+	fmt.Fprintln(stdout, "Reference topology (the paper's testbed, §6):")
+	fmt.Fprintf(stdout, "  server1: 6 Xeon cores, BlueField SNIC (8x ARM A72), %s (%d TBs), %s (3x E3/SGX)\n",
 		gpu.Name(), gpu.MaxThreadblocks(), vca.Name())
-	fmt.Printf("  server2: 6 Xeon cores, ConnectX NIC, remote %s (%s)\n", rgpu.Name(), rgpu.Model())
-	fmt.Println("  clients: client1, client2 (sockperf-style load generators)")
-	fmt.Printf("  fabric : NIC->GPU hops = %d (PCIe), remote GPU via wire backbone\n",
+	fmt.Fprintf(stdout, "  server2: 6 Xeon cores, ConnectX NIC, remote %s (%s)\n", rgpu.Name(), rgpu.Model())
+	fmt.Fprintln(stdout, "  clients: client1, client2 (sockperf-style load generators)")
+	fmt.Fprintf(stdout, "  fabric : NIC->GPU hops = %d (PCIe), remote GPU via wire backbone\n",
 		tb.Fab.Distance(bf.NIC, gpu.Device()))
 
-	fmt.Println("\nCalibrated model constants (see internal/model for provenance):")
+	fmt.Fprintln(stdout, "\nCalibrated model constants (see internal/model for provenance):")
 	rows := []struct {
 		name  string
 		value any
@@ -110,6 +121,7 @@ func main() {
 		{"memcached op (Xeon)", p.MemcachedOpXeon},
 	}
 	for _, r := range rows {
-		fmt.Printf("  %-36s %v\n", r.name, r.value)
+		fmt.Fprintf(stdout, "  %-36s %v\n", r.name, r.value)
 	}
+	return 0
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunText(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Reference topology", "BlueField", "Calibrated model constants", "wire bandwidth"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc) == 0 {
+		t.Fatal("-json output empty")
+	}
+	if !strings.Contains(out.String(), "wire_bandwidth_gbps") {
+		t.Error("-json output missing model constants")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "lynxtopo") {
+		t.Error("usage not printed to stderr")
+	}
+}

@@ -1,0 +1,167 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilCheckerIsDisabledNoOp(t *testing.T) {
+	var c *Checker
+	if c.Enabled() {
+		t.Fatal("nil checker reports enabled")
+	}
+	c.Failf("x", "boom %d", 1)
+	c.AddFinisher("f", func(fail func(string, ...any)) { fail("never") })
+	r := c.Finalize()
+	if !r.OK() || r.Finishers != 0 {
+		t.Fatalf("nil checker report = %+v, want empty ok", r)
+	}
+}
+
+func TestCheckerRecordsViolationsAndFinishers(t *testing.T) {
+	c := New()
+	if !c.Enabled() {
+		t.Fatal("enabled checker reports disabled")
+	}
+	c.Failf("mqueue.ring-bound", "q%d over", 3)
+	c.AddFinisher("core.request-conservation", func(fail func(string, ...any)) {
+		fail("lost %d requests", 2)
+	})
+	c.AddFinisher("fabric.byte-conservation", func(fail func(string, ...any)) {
+		// healthy: no failure
+	})
+	r := c.Finalize()
+	if r.OK() {
+		t.Fatal("report should not be OK")
+	}
+	if r.Finishers != 2 {
+		t.Fatalf("Finishers = %d, want 2", r.Finishers)
+	}
+	if len(r.Violations) != 2 {
+		t.Fatalf("violations = %v, want 2", r.Violations)
+	}
+	if r.Violations[0].Kind != "mqueue.ring-bound" || r.Violations[0].Detail != "q3 over" {
+		t.Fatalf("violation[0] = %+v", r.Violations[0])
+	}
+	if r.Violations[1].Kind != "core.request-conservation" {
+		t.Fatalf("violation[1] = %+v", r.Violations[1])
+	}
+	if !strings.Contains(r.String(), "FAILED") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestFinalizeRunsFinishersOnce(t *testing.T) {
+	c := New()
+	runs := 0
+	c.AddFinisher("f", func(fail func(string, ...any)) { runs++ })
+	c.Finalize()
+	c.Finalize()
+	if runs != 1 {
+		t.Fatalf("finisher ran %d times, want 1", runs)
+	}
+}
+
+func TestViolationCap(t *testing.T) {
+	c := New()
+	for i := 0; i < maxViolations+10; i++ {
+		c.Failf("k", "v%d", i)
+	}
+	r := c.Snapshot()
+	if len(r.Violations) != maxViolations {
+		t.Fatalf("violations = %d, want %d", len(r.Violations), maxViolations)
+	}
+	if r.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", r.Dropped)
+	}
+	if r.OK() {
+		t.Fatal("capped report must not be OK")
+	}
+}
+
+func TestAggregateMerges(t *testing.T) {
+	var nilA *Aggregate
+	nilA.Add(Report{Violations: []Violation{{Kind: "k"}}})
+	if nilA.Enabled() || nilA.Runs() != 0 || !nilA.Report().OK() {
+		t.Fatal("nil aggregate must discard")
+	}
+	a := NewAggregate()
+	a.Add(Report{Finishers: 2})
+	a.Add(Report{Finishers: 1, Violations: []Violation{{Kind: "x", Detail: "d"}}, Dropped: 3})
+	r := a.Report()
+	if a.Runs() != 2 || r.Finishers != 3 || len(r.Violations) != 1 || r.Dropped != 3 {
+		t.Fatalf("aggregate report = %+v runs=%d", r, a.Runs())
+	}
+	if strings.Contains(r.String(), "ok (") {
+		t.Fatalf("String() = %q, want failure summary", r.String())
+	}
+}
+
+func TestOKReportString(t *testing.T) {
+	r := Report{Finishers: 4}
+	if !r.OK() || !strings.Contains(r.String(), "ok") {
+		t.Fatalf("report = %+v, String = %q", r, r.String())
+	}
+}
+
+func f64(v float64) *float64 { return &v }
+
+func TestScorecardParseAndEvaluate(t *testing.T) {
+	data := []byte(`{"claims": [
+		{"id": "a.low", "metric": "a", "min": 1.5, "paper": "2x"},
+		{"id": "a.high", "metric": "a", "max": 3.0},
+		{"id": "b.band", "metric": "b", "min": 10, "max": 20},
+		{"id": "c.gone", "metric": "c", "min": 0}
+	]}`)
+	sc, err := ParseScorecard(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sc.Evaluate(map[string]float64{"a": 2.0, "b": 25})
+	if len(res) != 4 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if !res[0].Pass || !res[1].Pass {
+		t.Fatalf("claims on a should pass: %v %v", res[0], res[1])
+	}
+	if res[2].Pass {
+		t.Fatalf("b.band should fail: %v", res[2])
+	}
+	if res[3].Pass || !res[3].Missing {
+		t.Fatalf("missing metric must fail: %v", res[3])
+	}
+	fails := Failures(res)
+	if len(fails) != 2 {
+		t.Fatalf("failures = %v", fails)
+	}
+	if !strings.Contains(res[3].String(), "not produced") {
+		t.Fatalf("String() = %q", res[3].String())
+	}
+}
+
+func TestScorecardParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":     `{"claims": []}`,
+		"no-bounds": `{"claims": [{"id": "x", "metric": "m"}]}`,
+		"no-id":     `{"claims": [{"metric": "m", "min": 1}]}`,
+		"dup":       `{"claims": [{"id": "x", "metric": "m", "min": 1}, {"id": "x", "metric": "n", "min": 1}]}`,
+		"syntax":    `{`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseScorecard([]byte(doc)); err == nil {
+			t.Errorf("%s: ParseScorecard accepted %q", name, doc)
+		}
+	}
+}
+
+func TestClaimBand(t *testing.T) {
+	if b := (Claim{Min: f64(1), Max: f64(2)}).Band(); b != "[1, 2]" {
+		t.Fatalf("band = %q", b)
+	}
+	if b := (Claim{Min: f64(5)}).Band(); b != ">= 5" {
+		t.Fatalf("band = %q", b)
+	}
+	if b := (Claim{Max: f64(5)}).Band(); b != "<= 5" {
+		t.Fatalf("band = %q", b)
+	}
+}

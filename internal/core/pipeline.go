@@ -130,16 +130,22 @@ func (pl *Pipeline) advance(p *sim.Proc, stage int, pq *pipeQueue, msg mqueue.Tx
 	rt := pl.rt
 	fifo := pq.pending[msg.Corr]
 	if len(fifo) == 0 {
-		return // output without a matching input; drop
+		// Output without a matching input; drop.
+		rt.plat.Check.Failf("core.orphan-response",
+			"pipeline port %d stage %d: TX message for slot %d has no pending request",
+			pl.port, stage, msg.Corr)
+		return
 	}
 	to := fifo[0]
 	pq.pending[msg.Corr] = fifo[1:]
+	rt.inTransit++
 	if stage+1 < len(pl.stages) {
 		// Stage-to-stage relay: one dispatch cost, no network stack.
 		rt.exec(p, rt.plat.Params.DispatchCost)
 		pl.relayed++
 		rt.plat.Tracer.Emit(p.Now(), trace.Relay, uint64(stage+1), 0)
 		pl.pushStage(p, stage+1, msg.Payload, to)
+		rt.inTransit--
 		return
 	}
 	// Final stage: back to the client.
@@ -155,4 +161,5 @@ func (pl *Pipeline) advance(p *sim.Proc, stage int, pq *pipeQueue, msg mqueue.Tx
 		}
 	}
 	rt.stats.Responded++
+	rt.inTransit--
 }

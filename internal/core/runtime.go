@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lynx/internal/accel"
+	"lynx/internal/check"
 	"lynx/internal/cpuarch"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
@@ -59,6 +60,11 @@ type Platform struct {
 	// The runtime threads it through to the accelerator-side mqueue views
 	// at Register time.
 	Spans *trace.SpanTable
+	// Check, when enabled, receives runtime invariant violations (request
+	// conservation, ring bounds, orphan responses). The runtime threads it
+	// through to every mqueue it creates at Register time. A nil checker
+	// costs one pointer test per guarded site.
+	Check *check.Checker
 }
 
 // DropCause classifies why the runtime discarded a message.
@@ -145,6 +151,13 @@ type Runtime struct {
 	nextEphemeral uint16
 	cpuBusy       time.Duration
 	execCalls     uint64
+
+	// inTransit counts requests popped from a reply FIFO but not yet
+	// answered (or relayed into the next pipeline stage): a shutdown can
+	// kill the forwarding process inside that window, leaving the request
+	// in neither the pending FIFOs nor the Responded counter. The
+	// conservation finisher counts them as in-flight.
+	inTransit uint64
 }
 
 // drop records one discarded message with its cause (arg1 of the trace.Drop
@@ -173,11 +186,48 @@ func NewRuntime(plat Platform) *Runtime {
 	if plat.Workers <= 0 {
 		plat.Workers = 1
 	}
-	return &Runtime{
+	rt := &Runtime{
 		plat:   plat,
 		cores:  sim.NewResource(plat.Sim, plat.Workers),
 		serial: sim.NewResource(plat.Sim, 1),
 	}
+	if ck := plat.Check; ck.Enabled() {
+		// Request conservation at end of run: every message accepted into an
+		// mqueue (Received) is either answered (Responded), still waiting in a
+		// reply FIFO (in flight at shutdown), or — for pipelines — shed at a
+		// later stage (recorded in the drop counters). Responses can never
+		// outnumber their requests.
+		ck.AddFinisher("core.request-conservation", func(fail func(string, ...any)) {
+			var inflight uint64
+			for _, svc := range rt.services {
+				for _, bq := range svc.queues {
+					for _, fifo := range bq.pending {
+						inflight += uint64(len(fifo))
+					}
+				}
+			}
+			for _, pl := range rt.pipelines {
+				for _, stage := range pl.stages {
+					for _, pq := range stage {
+						for _, fifo := range pq.pending {
+							inflight += uint64(len(fifo))
+						}
+					}
+				}
+			}
+			inflight += rt.inTransit
+			st := rt.stats
+			if st.Responded+inflight > st.Received {
+				fail("responded %d + in-flight %d exceeds received %d",
+					st.Responded, inflight, st.Received)
+			}
+			if st.Received > st.Responded+inflight+st.Dropped() {
+				fail("received %d but only %d responded + %d in-flight + %d dropped",
+					st.Received, st.Responded, inflight, st.Dropped())
+			}
+		})
+	}
+	return rt
 }
 
 // exec charges one unit of frontend CPU work, splitting it into the
@@ -237,12 +287,14 @@ func (rt *Runtime) Register(acc accel.Accelerator, cfg mqueue.Config, n int) (*A
 		Kind:   rdma.RC,
 		Remote: acc.RemoteHost() != "",
 	})
+	cfg.Check = rt.plat.Check
 	group, err := mqueue.NewGroup(region, 0, cfg, n, qp)
 	if err != nil {
 		return nil, err
 	}
 	prof := acc.Profile()
 	prof.Spans = rt.plat.Spans
+	prof.Check = rt.plat.Check
 	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, prof)
 	if err != nil {
 		return nil, err
@@ -507,10 +559,14 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 	rt.exec(p, rt.plat.Params.ForwardCost)
 	fifo := bq.pending[msg.Corr]
 	if len(fifo) == 0 {
-		return // response without a matching request (app bug); drop
+		// Response without a matching request (app bug); drop.
+		rt.plat.Check.Failf("core.orphan-response",
+			"service port %d: TX message for slot %d has no pending request", s.port, msg.Corr)
+		return
 	}
 	to := fifo[0]
 	bq.pending[msg.Corr] = fifo[1:]
+	rt.inTransit++
 	switch s.proto {
 	case UDP:
 		rt.exec(p, rt.udpCost())
@@ -522,6 +578,7 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 		}
 	}
 	rt.stats.Responded++
+	rt.inTransit--
 	rt.plat.Spans.Stamp(id, trace.StageForward, p.Now())
 	rt.plat.Tracer.Emit(p.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
 }

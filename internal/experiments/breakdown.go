@@ -46,6 +46,7 @@ func breakdownRun(cfg Config, traced bool) breakdownOutcome {
 		out.events = trace.New(4096)
 		plat.Spans = out.spans
 		plat.Tracer = out.events
+		out.spans.RegisterInvariants(e.check)
 	}
 	addr, rt := e.echoDeployment(plat, 8, 20*time.Microsecond, 256)
 	if traced {

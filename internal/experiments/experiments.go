@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"lynx/internal/accel"
+	"lynx/internal/check"
 	"lynx/internal/core"
 	"lynx/internal/fault"
 	"lynx/internal/model"
@@ -45,6 +46,11 @@ type Config struct {
 	// TraceJSON, when non-empty, makes instrumented experiments (breakdown)
 	// write a Chrome trace-event timeline to this path.
 	TraceJSON string
+	// Invariants, when non-nil, arms a runtime invariant checker on every
+	// testbed the experiment builds; each sweep point finalizes its checker
+	// at shutdown and merges the report here. Checked runs stay
+	// bit-identical to unchecked ones.
+	Invariants *check.Aggregate
 }
 
 func (c Config) window(d time.Duration) time.Duration {
@@ -61,6 +67,9 @@ type Report struct {
 	Columns []string
 	Rows    []Row
 	Notes   []string
+	// Failed marks a gating experiment (the scorecard) whose claims did not
+	// all pass; cmd/lynxbench exits non-zero when any report sets it.
+	Failed bool
 }
 
 // Row is one table line.
@@ -245,6 +254,7 @@ type env struct {
 	bf      *snic.BlueField
 	gpu     *accel.GPU
 	clients []*netstack.Host
+	check   *check.Checker
 }
 
 func newEnv(cfg Config) *env {
@@ -254,12 +264,22 @@ func newEnv(cfg Config) *env {
 
 func newEnvWith(cfg Config, p *model.Params) *env {
 	tb := snic.NewTestbedWith(cfg.Seed+1, p, cfg.Faults)
+	var ck *check.Checker
+	if cfg.Invariants.Enabled() {
+		ck = check.New()
+		tb.EnableInvariants(ck)
+		// Each sweep point owns one env; its Shutdown finalizes the checker
+		// (the EnableInvariants hook) and this hook folds the report into
+		// the aggregate.
+		tb.Sim.OnShutdown(func() { cfg.Invariants.Add(ck.Finalize()) })
+	}
 	server := tb.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", accel.K40m, false, "server1")
 	return &env{
 		cfg: cfg, params: *p, tb: tb, server: server, bf: bf, gpu: gpu,
 		clients: []*netstack.Host{tb.AddClient("client1"), tb.AddClient("client2")},
+		check:   ck,
 	}
 }
 
@@ -323,6 +343,9 @@ func (e *env) echoDeployment(plat core.Platform, nQueues int, compute time.Durat
 
 // measure drives a workload and returns the result.
 func (e *env) measure(wcfg workload.Config) workload.Result {
+	if wcfg.Check == nil {
+		wcfg.Check = e.check
+	}
 	g := workload.New(e.tb.Sim, wcfg, e.clients...)
 	return workload.RunFor(e.tb.Sim, g)
 }

@@ -122,27 +122,31 @@ func fig6(cfg Config) *Report {
 	return r
 }
 
+// fig7Latency measures one Figure 7 cell: unloaded median request latency of
+// a Lynx echo deployment on the given platform. Shared by fig7 and the
+// scorecard.
+func fig7Latency(cfg Config, platform string, reqTime time.Duration, nMQ int) time.Duration {
+	e := newEnv(cfg)
+	target, _ := e.echoDeployment(e.lynxPlatform(platform), nMQ, reqTime, 128)
+	reqs := 60
+	if cfg.Scale < 1 {
+		reqs = 20
+	}
+	res := e.measure(workload.Config{
+		Proto: workload.UDP, Target: target, Payload: 20,
+		Clients: 1, Duration: time.Duration(reqs) * (reqTime + 100*time.Microsecond),
+		Warmup: 2 * (reqTime + 100*time.Microsecond),
+	})
+	e.tb.Sim.Shutdown()
+	return res.Hist.Median()
+}
+
 // fig7 measures unloaded request latency on BlueField vs 6 Xeon cores for
 // request durations of 5..1600 µs and 1/120/240 mqueues, reporting the
 // BF/Xeon slowdown ratio like Figure 7.
 func fig7(cfg Config) *Report {
 	reqTimes := []time.Duration{5 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
 		200 * time.Microsecond, 400 * time.Microsecond, 800 * time.Microsecond, 1600 * time.Microsecond}
-	measure := func(platform string, reqTime time.Duration, nMQ int) time.Duration {
-		e := newEnv(cfg)
-		target, _ := e.echoDeployment(e.lynxPlatform(platform), nMQ, reqTime, 128)
-		reqs := 60
-		if cfg.Scale < 1 {
-			reqs = 20
-		}
-		res := e.measure(workload.Config{
-			Proto: workload.UDP, Target: target, Payload: 20,
-			Clients: 1, Duration: time.Duration(reqs) * (reqTime + 100*time.Microsecond),
-			Warmup: 2 * (reqTime + 100*time.Microsecond),
-		})
-		e.tb.Sim.Shutdown()
-		return res.Hist.Median()
-	}
 	r := &Report{
 		ID:      "fig7",
 		Title:   "Latency slowdown: Lynx on BlueField vs Lynx on 6 Xeon cores (Fig. 7)",
@@ -166,7 +170,7 @@ func fig7(cfg Config) *Report {
 	meds := make([]time.Duration, len(points))
 	cfg.sweep(len(points), func(i int) {
 		p := points[i]
-		meds[i] = measure(p.plat, p.rt, p.n)
+		meds[i] = fig7Latency(cfg, p.plat, p.rt, p.n)
 	})
 	med := make(map[point]time.Duration, len(points))
 	for i, p := range points {
@@ -186,102 +190,111 @@ func fig7(cfg Config) *Report {
 	return r
 }
 
+// sec62MQCount is the §6.2 receive-path mqueue count.
+const sec62MQCount = 240
+
+// launchRxSinks starts receive-only GPU threadblocks: consume without
+// responding.
+func launchRxSinks(e *env, qs []*mqueue.AccelQueue) {
+	e.gpu.LaunchPersistent(e.tb.Sim, len(qs), func(tb *accel.TB) {
+		aq := qs[tb.Index()]
+		for {
+			aq.Recv(tb.Proc())
+		}
+	})
+}
+
+// innovaRxRate measures the Innova AFU's receive-path steering rate into GPU
+// mqueues (§6.2). Shared by sec62-innova and the scorecard.
+func innovaRxRate(cfg Config) float64 {
+	window := cfg.window(8 * time.Millisecond)
+	e := newEnv(cfg)
+	in := e.server.AttachInnova("innova1")
+	qs, err := in.ServeUDP(7000, e.gpu, mqueue.Config{Slots: 16, SlotSize: 128}, sec62MQCount)
+	if err != nil {
+		panic(err)
+	}
+	launchRxSinks(e, qs)
+	g := workload.New(e.tb.Sim, workload.Config{
+		Proto: workload.UDP, Target: in.NetHost.Addr(7000), Payload: 64,
+		Clients: 8, RatePerSec: 9e6, Duration: window, Warmup: window / 4,
+	}, e.clients...)
+	g.Run()
+	var atWarmup uint64
+	e.tb.Sim.After(window/4, func() { atWarmup, _ = in.Stats() })
+	e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
+	total, _ := in.Stats()
+	e.tb.Sim.Shutdown()
+	return float64(total-atWarmup) / window.Seconds()
+}
+
+// bluefieldRxRate measures the same receive-only accelerator behind the Lynx
+// runtime on BlueField (§6.2). Shared by sec62-innova and the scorecard.
+func bluefieldRxRate(cfg Config) float64 {
+	window := cfg.window(8 * time.Millisecond)
+	e := newEnv(cfg)
+	rt := core.NewRuntime(e.bf.Platform(7))
+	h, err := rt.Register(e.gpu, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}, sec62MQCount)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := rt.AddService(core.UDP, 7000, nil, sec62MQCount, h); err != nil {
+		panic(err)
+	}
+	launchRxSinks(e, h.AccelQueues())
+	rt.Start()
+	g := workload.New(e.tb.Sim, workload.Config{
+		Proto: workload.UDP, Target: e.bf.NetHost.Addr(7000), Payload: 64,
+		Clients: 8, RatePerSec: 2e6, Duration: window, Warmup: window / 4,
+	}, e.clients...)
+	g.Run()
+	var atWarmup uint64
+	e.tb.Sim.After(window/4, func() { atWarmup = rt.Stats().Received })
+	e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
+	received := rt.Stats().Received
+	e.tb.Sim.Shutdown()
+	return float64(received-atWarmup) / window.Seconds()
+}
+
+// hostRxRate measures the host-centric RX-only baseline: the CPU receives
+// each packet and delivers it to the GPU with one cudaMemcpyAsync (no kernel
+// per packet); the driver setup cost dominates. Shared by sec62-innova and
+// the scorecard.
+func hostRxRate(cfg Config) float64 {
+	window := cfg.window(8 * time.Millisecond)
+	e := newEnv(cfg)
+	sock := e.server.NetHost.MustUDPBind(7000)
+	delivered := 0
+	for w := 0; w < 6; w++ {
+		st := e.gpu.NewStream()
+		e.tb.Sim.Spawn("hc-rx", func(p *sim.Proc) {
+			for {
+				dg := sock.Recv(p)
+				e.server.CPU.ExecOn(p, e.params.UDPCost(model.XeonCore, true))
+				st.MemcpyH2D(p, len(dg.Payload))
+				delivered++
+			}
+		})
+	}
+	g := workload.New(e.tb.Sim, workload.Config{
+		Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: 64,
+		Clients: 8, RatePerSec: 4e5, Duration: window, Warmup: window / 4,
+	}, e.clients...)
+	g.Run()
+	atWarmup := 0
+	e.tb.Sim.After(window/4, func() { atWarmup = delivered })
+	e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
+	e.tb.Sim.Shutdown()
+	return float64(delivered-atWarmup) / window.Seconds()
+}
+
 // sec62Innova reproduces the receive-path comparison: Innova's AFU steers
 // 7.4M pkt/s into mqueues, BlueField manages 0.5M, and the CPU-centric
 // design is ~80x slower than Innova.
 func sec62Innova(cfg Config) *Report {
-	const nMQ = 240
-	window := cfg.window(8 * time.Millisecond)
-	// Receive-only GPU threadblocks: consume without responding.
-	launchSinks := func(e *env, qs []*mqueue.AccelQueue) {
-		e.gpu.LaunchPersistent(e.tb.Sim, len(qs), func(tb *accel.TB) {
-			aq := qs[tb.Index()]
-			for {
-				aq.Recv(tb.Proc())
-			}
-		})
-	}
-	// Innova.
-	runInnova := func() float64 {
-		e := newEnv(cfg)
-		in := e.server.AttachInnova("innova1")
-		qs, err := in.ServeUDP(7000, e.gpu, mqueue.Config{Slots: 16, SlotSize: 128}, nMQ)
-		if err != nil {
-			panic(err)
-		}
-		launchSinks(e, qs)
-		g := workload.New(e.tb.Sim, workload.Config{
-			Proto: workload.UDP, Target: in.NetHost.Addr(7000), Payload: 64,
-			Clients: 8, RatePerSec: 9e6, Duration: window, Warmup: window / 4,
-		}, e.clients...)
-		g.Run()
-		var atWarmup uint64
-		e.tb.Sim.After(window/4, func() { atWarmup, _ = in.Stats() })
-		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
-		total, _ := in.Stats()
-		e.tb.Sim.Shutdown()
-		return float64(total-atWarmup) / window.Seconds()
-	}
-
-	// BlueField: same receive-only accelerator behind the Lynx runtime.
-	runBF := func() float64 {
-		e := newEnv(cfg)
-		rt := core.NewRuntime(e.bf.Platform(7))
-		h, err := rt.Register(e.gpu, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: 128}, nMQ)
-		if err != nil {
-			panic(err)
-		}
-		if _, err := rt.AddService(core.UDP, 7000, nil, nMQ, h); err != nil {
-			panic(err)
-		}
-		launchSinks(e, h.AccelQueues())
-		rt.Start()
-		g := workload.New(e.tb.Sim, workload.Config{
-			Proto: workload.UDP, Target: e.bf.NetHost.Addr(7000), Payload: 64,
-			Clients: 8, RatePerSec: 2e6, Duration: window, Warmup: window / 4,
-		}, e.clients...)
-		g.Run()
-		var atWarmup uint64
-		e.tb.Sim.After(window/4, func() { atWarmup = rt.Stats().Received })
-		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
-		received := rt.Stats().Received
-		e.tb.Sim.Shutdown()
-		return float64(received-atWarmup) / window.Seconds()
-	}
-
-	// Host-centric RX-only: the CPU receives each packet and delivers it to
-	// the GPU with one cudaMemcpyAsync (no kernel per packet); the driver
-	// setup cost dominates.
-	runHC := func() float64 {
-		e := newEnv(cfg)
-		sock := e.server.NetHost.MustUDPBind(7000)
-		delivered := 0
-		for w := 0; w < 6; w++ {
-			st := e.gpu.NewStream()
-			e.tb.Sim.Spawn("hc-rx", func(p *sim.Proc) {
-				for {
-					dg := sock.Recv(p)
-					e.server.CPU.ExecOn(p, e.params.UDPCost(model.XeonCore, true))
-					st.MemcpyH2D(p, len(dg.Payload))
-					delivered++
-				}
-			})
-		}
-		g := workload.New(e.tb.Sim, workload.Config{
-			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: 64,
-			Clients: 8, RatePerSec: 4e5, Duration: window, Warmup: window / 4,
-		}, e.clients...)
-		g.Run()
-		atWarmup := 0
-		e.tb.Sim.After(window/4, func() { atWarmup = delivered })
-		e.tb.Sim.RunUntil(e.tb.Sim.Now().Add(window + window/4))
-		e.tb.Sim.Shutdown()
-		return float64(delivered-atWarmup) / window.Seconds()
-	}
-
-	runs := []func() float64{runInnova, runBF, runHC}
+	runs := []func(Config) float64{innovaRxRate, bluefieldRxRate, hostRxRate}
 	rates := make([]float64, len(runs))
-	cfg.sweep(len(runs), func(i int) { rates[i] = runs[i]() })
+	cfg.sweep(len(runs), func(i int) { rates[i] = runs[i](cfg) })
 	innovaRate, bfRate, hcRate := rates[0], rates[1], rates[2]
 
 	r := &Report{
@@ -300,37 +313,41 @@ func sec62Innova(cfg Config) *Report {
 // sec62Isolation re-runs the §3.2 noisy-neighbor experiment with Lynx on
 // BlueField: the SNIC does not share the host LLC, so the server's tail is
 // unaffected.
-func sec62Isolation(cfg Config) *Report {
-	run := func(useLynxBF, noisy bool) workload.Result {
-		e := newEnv(cfg)
-		e.server.CPU.SetNoisy(noisy)
-		window := cfg.window(60 * time.Millisecond)
-		if useLynxBF {
-			target, _ := e.echoDeployment(e.bf.Platform(7), 4, 50*time.Microsecond, 1100)
-			res := e.measure(workload.Config{
-				Proto: workload.UDP, Target: target, Payload: 4 * 256,
-				Clients: 4, Duration: window, Warmup: 2 * time.Millisecond,
-			})
-			e.tb.Sim.Shutdown()
-			return res
-		}
-		sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
-			Port: 7000, Streams: 4, Cores: 1, Bypass: true, KernelTime: 50 * time.Microsecond,
-		})
-		if err := sv.Start(); err != nil {
-			panic(err)
-		}
+// isolationRun measures one noisy-neighbor point (§6.2 / §3.2): the Lynx
+// BlueField deployment or the host-centric baseline, with or without a noisy
+// co-tenant on the host CPU. Shared by sec62-isolation and the scorecard.
+func isolationRun(cfg Config, useLynxBF, noisy bool) workload.Result {
+	e := newEnv(cfg)
+	e.server.CPU.SetNoisy(noisy)
+	window := cfg.window(60 * time.Millisecond)
+	if useLynxBF {
+		target, _ := e.echoDeployment(e.bf.Platform(7), 4, 50*time.Microsecond, 1100)
 		res := e.measure(workload.Config{
-			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: 4 * 256,
+			Proto: workload.UDP, Target: target, Payload: 4 * 256,
 			Clients: 4, Duration: window, Warmup: 2 * time.Millisecond,
 		})
 		e.tb.Sim.Shutdown()
 		return res
 	}
+	sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
+		Port: 7000, Streams: 4, Cores: 1, Bypass: true, KernelTime: 50 * time.Microsecond,
+	})
+	if err := sv.Start(); err != nil {
+		panic(err)
+	}
+	res := e.measure(workload.Config{
+		Proto: workload.UDP, Target: e.server.NetHost.Addr(7000), Payload: 4 * 256,
+		Clients: 4, Duration: window, Warmup: 2 * time.Millisecond,
+	})
+	e.tb.Sim.Shutdown()
+	return res
+}
+
+func sec62Isolation(cfg Config) *Report {
 	type point struct{ lynx, noisy bool }
 	points := []point{{true, false}, {true, true}, {false, false}, {false, true}}
 	results := make([]workload.Result, len(points))
-	cfg.sweep(len(points), func(i int) { results[i] = run(points[i].lynx, points[i].noisy) })
+	cfg.sweep(len(points), func(i int) { results[i] = isolationRun(cfg, points[i].lynx, points[i].noisy) })
 	bfQuiet, bfNoisy, hcQuiet, hcNoisy := results[0], results[1], results[2], results[3]
 	r := &Report{
 		ID:      "sec62-isolation",

@@ -26,14 +26,17 @@ func init() {
 	register("ablate-qp-share", "ablation: shared vs per-mqueue QPs (engine ops per message, §5.1)", ablateQPShare)
 }
 
-// sec3Invocation reproduces the §3.2 echo measurement: a 100 µs GPU kernel
-// measures ~130 µs end-to-end through the host-centric pipeline — ~30 µs of
-// pure GPU management overhead per request.
-func sec3Invocation(cfg Config) *Report {
+// invocationKernel is the §3.2 echo kernel duration.
+const invocationKernel = 100 * time.Microsecond
+
+// invocationOverhead runs the §3.2 echo measurement once and returns the
+// median end-to-end latency and the pure GPU management overhead (end-to-end
+// minus kernel time minus wire RTT). Shared by sec3-invocation and the
+// scorecard.
+func invocationOverhead(cfg Config) (e2e, overhead time.Duration) {
 	e := newEnv(cfg)
-	const kernel = 100 * time.Microsecond
 	sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
-		Port: 7000, Streams: 1, Cores: 1, Bypass: true, KernelTime: kernel,
+		Port: 7000, Streams: 1, Cores: 1, Bypass: true, KernelTime: invocationKernel,
 	})
 	if err := sv.Start(); err != nil {
 		panic(err)
@@ -44,43 +47,55 @@ func sec3Invocation(cfg Config) *Report {
 	})
 	wire := e.tb.Net.RTT(8)
 	e.tb.Sim.Shutdown()
-	overhead := res.Hist.Median() - kernel - wire
+	return res.Hist.Median(), res.Hist.Median() - invocationKernel - wire
+}
+
+// sec3Invocation reproduces the §3.2 echo measurement: a 100 µs GPU kernel
+// measures ~130 µs end-to-end through the host-centric pipeline — ~30 µs of
+// pure GPU management overhead per request.
+func sec3Invocation(cfg Config) *Report {
+	const kernel = invocationKernel
+	e2e, overhead := invocationOverhead(cfg)
 	r := &Report{
 		ID:      "sec3-invocation",
 		Title:   "Host-centric GPU invocation overhead (100µs echo kernel)",
 		Columns: []string{"measured", "paper"},
 	}
-	r.AddRow("end-to-end latency", res.Hist.Median(), "130µs")
+	r.AddRow("end-to-end latency", e2e, "130µs")
 	r.AddRow("kernel time", kernel, "100µs")
 	r.AddRow("management overhead", overhead, "30µs")
 	r.Note("overhead = 2x cudaMemcpyAsync setup + kernel launch + stream sync, all under the driver lock")
 	return r
 }
 
+// noisyHostRun drives the §3.2 vector-multiply host-centric server once,
+// with or without the LLC-thrashing neighbor. Shared by sec3-noisy and the
+// scorecard.
+func noisyHostRun(cfg Config, noisy bool) workload.Result {
+	e := newEnv(Config{Seed: cfg.Seed, Scale: cfg.Scale, Invariants: cfg.Invariants})
+	e.server.CPU.SetNoisy(noisy)
+	sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
+		Port: 7000, Streams: 4, Cores: 1, Bypass: true,
+		KernelTime: 50 * time.Microsecond,
+	})
+	if err := sv.Start(); err != nil {
+		panic(err)
+	}
+	res := e.measure(workload.Config{
+		Proto: workload.UDP, Target: e.server.NetHost.Addr(7000),
+		Payload: 4 * 256, // 256 integers, §3.2
+		Clients: 4, Duration: cfg.window(80 * time.Millisecond), Warmup: 2 * time.Millisecond,
+	})
+	e.tb.Sim.Shutdown()
+	return res
+}
+
 // sec3Noisy reproduces the §3.2 noisy-neighbor experiment: a vector-multiply
 // GPU server co-located with an LLC-thrashing matrix product sees its p99
 // latency inflate ~13x (0.13 ms -> 1.7 ms); the matmul slows by 21%.
 func sec3Noisy(cfg Config) *Report {
-	run := func(noisy bool) workload.Result {
-		e := newEnv(Config{Seed: cfg.Seed, Scale: cfg.Scale})
-		e.server.CPU.SetNoisy(noisy)
-		sv := hostcentric.New(e.tb.Sim, e.tb.Params, e.server.CPU, e.server.NetHost, e.gpu, hostcentric.Config{
-			Port: 7000, Streams: 4, Cores: 1, Bypass: true,
-			KernelTime: 50 * time.Microsecond,
-		})
-		if err := sv.Start(); err != nil {
-			panic(err)
-		}
-		res := e.measure(workload.Config{
-			Proto: workload.UDP, Target: e.server.NetHost.Addr(7000),
-			Payload: 4 * 256, // 256 integers, §3.2
-			Clients: 4, Duration: cfg.window(80 * time.Millisecond), Warmup: 2 * time.Millisecond,
-		})
-		e.tb.Sim.Shutdown()
-		return res
-	}
 	results := make([]workload.Result, 2)
-	cfg.sweep(2, func(i int) { results[i] = run(i == 1) })
+	cfg.sweep(2, func(i int) { results[i] = noisyHostRun(cfg, i == 1) })
 	quiet, noisy := results[0], results[1]
 	params := newEnv(cfg).params
 	r := &Report{
@@ -102,81 +117,91 @@ func sec3Noisy(cfg Config) *Report {
 // mechanism, rings the notification register with the control mechanism, a
 // single GPU threadblock consumes and echoes, and the manager collects the
 // response through the same mechanisms.
+// fig5Mech selects the data/control transfer mechanism of one Figure 5 row.
+type fig5Mech struct {
+	name        string
+	dataRDMA    bool
+	controlRDMA bool // coalesced with the data write
+	controlGdr  bool
+}
+
+// fig5Mechanisms are Figure 5's four rows; index 0 is the all-cudaMemcpyAsync
+// baseline the speedups are computed against.
+var fig5Mechanisms = []fig5Mech{
+	{name: "data:cudaMemcpy control:cudaMemcpy"},
+	{name: "data:cudaMemcpy control:gdrcopy", controlGdr: true},
+	{name: "data:RDMA control:gdrcopy", dataRDMA: true, controlGdr: true},
+	{name: "data:RDMA control:RDMA", dataRDMA: true, controlRDMA: true},
+}
+
+// fig5Rate measures one Figure 5 cell: delivered echoes per second through a
+// single mqueue with the given transfer mechanism and payload. Shared by
+// fig5 and the scorecard.
+func fig5Rate(cfg Config, m fig5Mech, payload int) float64 {
+	e := newEnv(cfg)
+	p := &e.params
+	region := e.gpu.Device().Mem.MustAlloc("fig5", 1<<20)
+	qp := e.server.RDMA.CreateQP(e.gpu.Device(), rdma.QPConfig{Kind: rdma.RC})
+	st := e.gpu.NewStream()
+	// The echo threadblock: consume (3 local accesses), produce.
+	toGPU := sim.NewChan[[]byte](e.tb.Sim, 0)
+	fromGPU := sim.NewChan[[]byte](e.tb.Sim, 0)
+	e.gpu.LaunchPersistent(e.tb.Sim, 1, func(tb *accel.TB) {
+		for {
+			msg := toGPU.Get(tb.Proc())
+			tb.Proc().Sleep(4 * p.GPULocalAccess)
+			fromGPU.Put(tb.Proc(), msg)
+		}
+	})
+	gdrOp := func(pr *sim.Proc) { pr.Sleep(p.GdrcopySetup + p.PCIeLatency) }
+	done := 0
+	e.tb.Sim.Spawn("manager", func(pr *sim.Proc) {
+		buf := make([]byte, payload)
+		for {
+			// Deliver payload + notification.
+			switch {
+			case m.dataRDMA && m.controlRDMA:
+				qp.Write(pr, region, 0, buf) // coalesced single write
+			case m.dataRDMA:
+				qp.Write(pr, region, 0, buf)
+				gdrOp(pr) // doorbell via mapped BAR store
+			default:
+				st.MemcpyH2D(pr, payload)
+				if m.controlGdr {
+					gdrOp(pr)
+				} else {
+					st.MemcpyH2D(pr, 4)
+				}
+			}
+			toGPU.Put(pr, buf)
+			resp := fromGPU.Get(pr)
+			// Collect the response with the real poll protocol:
+			// header-counter read, payload read, consumed-counter
+			// write-back.
+			if m.dataRDMA {
+				qp.Read(pr, region, 0, 8)
+				qp.Read(pr, region, 0, len(resp))
+				qp.Write(pr, region, 0, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+			} else {
+				st.MemcpyD2H(pr, len(resp))
+				if m.controlGdr {
+					gdrOp(pr)
+				} else {
+					st.MemcpyD2H(pr, 4)
+				}
+			}
+			done++
+		}
+	})
+	window := cfg.window(8 * time.Millisecond)
+	e.tb.Sim.RunUntil(sim.Time(window))
+	e.tb.Sim.Shutdown()
+	return float64(done) / window.Seconds()
+}
+
 func fig5(cfg Config) *Report {
 	payloads := []int{20, 116, 516, 1016, 1416}
-	type mech struct {
-		name        string
-		dataRDMA    bool
-		controlRDMA bool // coalesced with the data write
-		controlGdr  bool
-	}
-	mechanisms := []mech{
-		{name: "data:cudaMemcpy control:cudaMemcpy"},
-		{name: "data:cudaMemcpy control:gdrcopy", controlGdr: true},
-		{name: "data:RDMA control:gdrcopy", dataRDMA: true, controlGdr: true},
-		{name: "data:RDMA control:RDMA", dataRDMA: true, controlRDMA: true},
-	}
-	measure := func(m mech, payload int) float64 {
-		e := newEnv(cfg)
-		p := &e.params
-		region := e.gpu.Device().Mem.MustAlloc("fig5", 1<<20)
-		qp := e.server.RDMA.CreateQP(e.gpu.Device(), rdma.QPConfig{Kind: rdma.RC})
-		st := e.gpu.NewStream()
-		// The echo threadblock: consume (3 local accesses), produce.
-		toGPU := sim.NewChan[[]byte](e.tb.Sim, 0)
-		fromGPU := sim.NewChan[[]byte](e.tb.Sim, 0)
-		e.gpu.LaunchPersistent(e.tb.Sim, 1, func(tb *accel.TB) {
-			for {
-				msg := toGPU.Get(tb.Proc())
-				tb.Proc().Sleep(4 * p.GPULocalAccess)
-				fromGPU.Put(tb.Proc(), msg)
-			}
-		})
-		gdrOp := func(pr *sim.Proc) { pr.Sleep(p.GdrcopySetup + p.PCIeLatency) }
-		done := 0
-		e.tb.Sim.Spawn("manager", func(pr *sim.Proc) {
-			buf := make([]byte, payload)
-			for {
-				// Deliver payload + notification.
-				switch {
-				case m.dataRDMA && m.controlRDMA:
-					qp.Write(pr, region, 0, buf) // coalesced single write
-				case m.dataRDMA:
-					qp.Write(pr, region, 0, buf)
-					gdrOp(pr) // doorbell via mapped BAR store
-				default:
-					st.MemcpyH2D(pr, payload)
-					if m.controlGdr {
-						gdrOp(pr)
-					} else {
-						st.MemcpyH2D(pr, 4)
-					}
-				}
-				toGPU.Put(pr, buf)
-				resp := fromGPU.Get(pr)
-				// Collect the response with the real poll protocol:
-				// header-counter read, payload read, consumed-counter
-				// write-back.
-				if m.dataRDMA {
-					qp.Read(pr, region, 0, 8)
-					qp.Read(pr, region, 0, len(resp))
-					qp.Write(pr, region, 0, []byte{0, 0, 0, 0, 0, 0, 0, 0})
-				} else {
-					st.MemcpyD2H(pr, len(resp))
-					if m.controlGdr {
-						gdrOp(pr)
-					} else {
-						st.MemcpyD2H(pr, 4)
-					}
-				}
-				done++
-			}
-		})
-		window := cfg.window(8 * time.Millisecond)
-		e.tb.Sim.RunUntil(sim.Time(window))
-		e.tb.Sim.Shutdown()
-		return float64(done) / window.Seconds()
-	}
+	mechanisms := fig5Mechanisms
 	r := &Report{
 		ID:      "fig5",
 		Title:   "mqueue transfer mechanisms, speedup vs cudaMemcpyAsync (Fig. 5)",
@@ -188,7 +213,7 @@ func fig5(cfg Config) *Report {
 	nCells := len(mechanisms) * len(payloads)
 	vals := make([]float64, nCells)
 	cfg.sweep(nCells, func(i int) {
-		vals[i] = measure(mechanisms[i/len(payloads)], payloads[i%len(payloads)])
+		vals[i] = fig5Rate(cfg, mechanisms[i/len(payloads)], payloads[i%len(payloads)])
 	})
 	base := vals[:len(payloads)]
 	for mi, m := range mechanisms {
@@ -200,6 +225,12 @@ func fig5(cfg Config) *Report {
 	}
 	r.Note("paper: RDMA wins everywhere, ~5x at small payloads; cudaMemcpyAsync pays a 7-8µs setup per op")
 	return r
+}
+
+// vmaStackRatio is the kernel/VMA per-packet UDP stack cost ratio for the
+// given core kind (§5.1.1). Shared by sec511-vma and the scorecard.
+func vmaStackRatio(pm *model.Params, kind model.CPUKind) float64 {
+	return float64(pm.UDPCost(kind, false)) / float64(pm.UDPCost(kind, true))
 }
 
 // sec511VMA compares kernel vs VMA (user-level) network stacks: §5.1.1
@@ -236,55 +267,59 @@ func sec511VMA(cfg Config) *Report {
 		Columns: []string{"kernel", "VMA", "stack-cost ratio", "paper"},
 	}
 	pm := e.params
-	bfRatio := float64(pm.UDPCost(model.ARMCore, false)) / float64(pm.UDPCost(model.ARMCore, true))
-	hostRatio := float64(pm.UDPCost(model.XeonCore, false)) / float64(pm.UDPCost(model.XeonCore, true))
+	bfRatio := vmaStackRatio(&pm, model.ARMCore)
+	hostRatio := vmaStackRatio(&pm, model.XeonCore)
 	r.AddRow("BlueField E2E", bfKernel, bfVMA, fmtFloat(bfRatio)+"x", "4x")
 	r.AddRow("Host E2E", hostKernel, hostVMA, fmtFloat(hostRatio)+"x", "2x")
 	r.Note("E2E latency includes mqueue and wire time; the ratio column isolates per-packet stack processing")
 	return r
 }
 
+// barrierRun measures per-message delivery latency and rate through one
+// mqueue, with or without the §5.1 RDMA-read write barrier. Shared by
+// sec51-barrier and the scorecard.
+func barrierRun(cfg Config, barrier bool) (time.Duration, float64) {
+	e := newEnv(cfg)
+	region := e.gpu.Device().Mem.MustAlloc("bar", 1<<20)
+	qp := e.server.RDMA.CreateQP(e.gpu.Device(), rdma.QPConfig{Kind: rdma.RC})
+	mqCfg := mqueue.Config{Slots: 64, SlotSize: 128, Barrier: barrier, NoCoalesce: barrier}
+	q, _ := mqueue.New(region, 0, mqCfg, qp)
+	aq, _ := mqueue.Attach(region, 0, mqCfg, e.gpu.Profile())
+	e.gpu.LaunchPersistent(e.tb.Sim, 1, func(tb *accel.TB) {
+		for {
+			aq.Recv(tb.Proc())
+		}
+	})
+	hist := metrics.NewHistogram()
+	e.tb.Sim.Spawn("pusher", func(p *sim.Proc) {
+		for {
+			start := p.Now()
+			if _, err := q.Push(p, make([]byte, 64), 0); err != nil {
+				p.Sleep(2 * time.Microsecond)
+				continue
+			}
+			hist.Record(p.Now().Sub(start))
+		}
+	})
+	window := cfg.window(5 * time.Millisecond)
+	e.tb.Sim.RunUntil(sim.Time(window))
+	e.tb.Sim.Shutdown()
+	return hist.Median(), float64(hist.Count()) / window.Seconds()
+}
+
 // sec51Barrier measures the cost of the §5.1 consistency workaround: with
 // the RDMA-read write barrier each message needs three transactions instead
 // of one coalesced write, ~5 µs extra.
 func sec51Barrier(cfg Config) *Report {
-	run := func(barrier bool) (time.Duration, float64) {
-		e := newEnv(cfg)
-		region := e.gpu.Device().Mem.MustAlloc("bar", 1<<20)
-		qp := e.server.RDMA.CreateQP(e.gpu.Device(), rdma.QPConfig{Kind: rdma.RC})
-		mqCfg := mqueue.Config{Slots: 64, SlotSize: 128, Barrier: barrier, NoCoalesce: barrier}
-		q, _ := mqueue.New(region, 0, mqCfg, qp)
-		aq, _ := mqueue.Attach(region, 0, mqCfg, e.gpu.Profile())
-		e.gpu.LaunchPersistent(e.tb.Sim, 1, func(tb *accel.TB) {
-			for {
-				aq.Recv(tb.Proc())
-			}
-		})
-		hist := metrics.NewHistogram()
-		e.tb.Sim.Spawn("pusher", func(p *sim.Proc) {
-			for {
-				start := p.Now()
-				if _, err := q.Push(p, make([]byte, 64), 0); err != nil {
-					p.Sleep(2 * time.Microsecond)
-					continue
-				}
-				hist.Record(p.Now().Sub(start))
-			}
-		})
-		window := cfg.window(5 * time.Millisecond)
-		e.tb.Sim.RunUntil(sim.Time(window))
-		e.tb.Sim.Shutdown()
-		return hist.Median(), float64(hist.Count()) / window.Seconds()
-	}
 	var (
 		off, on         time.Duration
 		offRate, onRate float64
 	)
 	cfg.sweep(2, func(i int) {
 		if i == 0 {
-			off, offRate = run(false)
+			off, offRate = barrierRun(cfg, false)
 		} else {
-			on, onRate = run(true)
+			on, onRate = barrierRun(cfg, true)
 		}
 	})
 	r := &Report{

@@ -1,0 +1,142 @@
+// Scorecard: the paper-fidelity gate. scorecard.json states the evaluation's
+// load-bearing shapes (orderings, ratio bands, latency floors) as
+// machine-readable claims; scorecardMetrics recomputes every referenced
+// metric from fresh simulations using the same named measurement helpers the
+// individual experiments use; Evaluate turns the pair into pass/fail rows.
+// TestScorecard and `lynxbench -exp scorecard` fail when any claim drifts
+// out of its tolerance band, so a change that silently bends the reproduced
+// results is caught at test time rather than by a human re-reading tables.
+package experiments
+
+import (
+	_ "embed"
+	"fmt"
+	"time"
+
+	"lynx/internal/check"
+	"lynx/internal/model"
+	"lynx/internal/workload"
+)
+
+//go:embed scorecard.json
+var scorecardJSON []byte
+
+func init() {
+	register("scorecard", "paper-fidelity gate: evaluation shape claims vs fresh measurements", scorecard)
+}
+
+// loadScorecard parses the embedded claims; the document is validated at
+// build time by TestScorecardDocument, so a parse failure here is a bug.
+func loadScorecard() check.Scorecard {
+	sc, err := check.ParseScorecard(scorecardJSON)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// scorecardMetrics recomputes every metric scorecard.json references, fanning
+// the underlying simulations out through cfg.sweep like any other experiment.
+// Each metric reuses the named measurement helper of the experiment it
+// summarizes, so the gate exercises the same code paths as the full tables.
+func scorecardMetrics(cfg Config) map[string]float64 {
+	const reqTime = 20 * time.Microsecond // Fig. 6's short-request column
+	var (
+		invOverhead          time.Duration
+		noisyQuiet, noisyRes workload.Result
+		// fig5: baseline and RDMA/RDMA mechanisms at small and MTU payloads.
+		fig5Base20, fig5RDMA20, fig5Base1416, fig5RDMA1416 float64
+		// fig6: req/s per (platform, mqueue count) at the short request time.
+		hc1, bf1, hc240, bf240, xeon1c240, xeon6c240 float64
+		// fig7: unloaded median latency per (platform, request time), 1 mqueue.
+		bfShort, xeonShort, bfLong, xeonLong time.Duration
+		innovaRate, bfRate, hcRate           float64
+		isoQuiet, isoNoisy                   workload.Result
+		barOff, barOn                        time.Duration
+	)
+	tasks := []func(){
+		func() { _, invOverhead = invocationOverhead(cfg) },
+		func() { noisyQuiet = noisyHostRun(cfg, false) },
+		func() { noisyRes = noisyHostRun(cfg, true) },
+		func() { fig5Base20 = fig5Rate(cfg, fig5Mechanisms[0], 20) },
+		func() { fig5RDMA20 = fig5Rate(cfg, fig5Mechanisms[3], 20) },
+		func() { fig5Base1416 = fig5Rate(cfg, fig5Mechanisms[0], 1416) },
+		func() { fig5RDMA1416 = fig5Rate(cfg, fig5Mechanisms[3], 1416) },
+		func() { hc1 = fig6Throughput(cfg, platHostCentric, reqTime, 1) },
+		func() { bf1 = fig6Throughput(cfg, platLynxBF, reqTime, 1) },
+		func() { hc240 = fig6Throughput(cfg, platHostCentric, reqTime, 240) },
+		func() { bf240 = fig6Throughput(cfg, platLynxBF, reqTime, 240) },
+		func() { xeon1c240 = fig6Throughput(cfg, platLynx1Xeon, reqTime, 240) },
+		func() { xeon6c240 = fig6Throughput(cfg, platLynx6Xeon, reqTime, 240) },
+		func() { bfShort = fig7Latency(cfg, platLynxBF, 5*time.Microsecond, 1) },
+		func() { xeonShort = fig7Latency(cfg, platLynx6Xeon, 5*time.Microsecond, 1) },
+		func() { bfLong = fig7Latency(cfg, platLynxBF, 1600*time.Microsecond, 1) },
+		func() { xeonLong = fig7Latency(cfg, platLynx6Xeon, 1600*time.Microsecond, 1) },
+		func() { innovaRate = innovaRxRate(cfg) },
+		func() { bfRate = bluefieldRxRate(cfg) },
+		func() { hcRate = hostRxRate(cfg) },
+		func() { isoQuiet = isolationRun(cfg, true, false) },
+		func() { isoNoisy = isolationRun(cfg, true, true) },
+		func() { barOff, _ = barrierRun(cfg, false) },
+		func() { barOn, _ = barrierRun(cfg, true) },
+	}
+	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
+
+	pm := defaultParams()
+	hcSlowest := speedup(bf240, hc240)
+	for _, v := range []float64{speedup(xeon1c240, hc240), speedup(xeon6c240, hc240)} {
+		if v < hcSlowest {
+			hcSlowest = v
+		}
+	}
+	return map[string]float64{
+		"invocation.overhead_us": float64(invOverhead) / float64(time.Microsecond),
+		"noisy.p99_inflation":    speedup(float64(noisyRes.Hist.P99()), float64(noisyQuiet.Hist.P99())),
+		"fig5.rdma_small":        speedup(fig5RDMA20, fig5Base20),
+		"fig5.decline":           speedup(speedup(fig5RDMA20, fig5Base20), speedup(fig5RDMA1416, fig5Base1416)),
+		"fig6.bf_1mq_short":      speedup(bf1, hc1),
+		"fig6.bf_240mq_short":    speedup(bf240, hc240),
+		"fig6.hc_slowest":        hcSlowest,
+		"fig6.bf_over_1xeon":     speedup(bf240, xeon1c240),
+		"fig6.bf_vs_6xeon_short": speedup(bf240, xeon6c240),
+		"fig7.ratio_short":       speedup(float64(bfShort), float64(xeonShort)),
+		"fig7.ratio_long":        speedup(float64(bfLong), float64(xeonLong)),
+		"fig7.bf_floor_us":       float64(bfShort) / float64(time.Microsecond),
+		"innova.vs_bf":           speedup(innovaRate, bfRate),
+		"innova.vs_hc":           speedup(innovaRate, hcRate),
+		"isolation.bf_inflation": speedup(float64(isoNoisy.Hist.P99()), float64(isoQuiet.Hist.P99())),
+		"vma.bf_ratio":           vmaStackRatio(&pm, model.ARMCore),
+		"barrier.extra_us":       float64(barOn-barOff) / float64(time.Microsecond),
+	}
+}
+
+// scorecard runs the paper-fidelity gate: one row per claim with the measured
+// value, the tolerated band, and the paper's reported shape. Report.Failed is
+// set when any claim misses its band so callers can gate on the outcome.
+func scorecard(cfg Config) *Report {
+	sc := loadScorecard()
+	results := sc.Evaluate(scorecardMetrics(cfg))
+	r := &Report{
+		ID:      "scorecard",
+		Title:   "Paper-fidelity scorecard: evaluation shapes vs tolerance bands",
+		Columns: []string{"metric", "value", "band", "paper", "status"},
+	}
+	for _, res := range results {
+		value := "(missing)"
+		if !res.Missing {
+			value = fmt.Sprintf("%.3g", res.Value)
+		}
+		status := "PASS"
+		if !res.Pass {
+			status = "FAIL"
+			r.Failed = true
+		}
+		r.AddRow(res.Claim.ID, res.Claim.Metric, value, res.Claim.Band(), res.Claim.Paper, status)
+	}
+	if fails := check.Failures(results); len(fails) > 0 {
+		r.Note("%d of %d claims FAILED", len(fails), len(results))
+	} else {
+		r.Note("all %d claims pass", len(results))
+	}
+	return r
+}

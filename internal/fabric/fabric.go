@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/check"
 	"lynx/internal/fault"
 	"lynx/internal/memdev"
 	"lynx/internal/sim"
@@ -73,8 +74,17 @@ type Fabric struct {
 	nodes  map[string]Node
 	paths  map[[2]string][]*Link // route cache
 	faults *fault.Plan
+	links  []*Link
 
 	transfers uint64
+
+	// check and hopBytes implement double-entry byte conservation: every
+	// completed hop adds its size both to the link's bytesMoved and to the
+	// fabric-global hopBytes, from the same loop but different ledgers, so a
+	// refactor that double-counts or bypasses per-link accounting trips the
+	// end-of-run finisher. Only maintained while a checker is installed.
+	check    *check.Checker
+	hopBytes uint64
 }
 
 // SetFaults installs a fault plan consulted per transfer. A nil plan (the
@@ -118,6 +128,7 @@ func (f *Fabric) Connect(a, b Node, latency time.Duration, bandwidth float64) *L
 	l := &Link{a: a, b: b, latency: latency, bandwidth: bandwidth, busy: sim.NewResource(f.sim, 1)}
 	a.addEdge(l)
 	b.addEdge(l)
+	f.links = append(f.links, l)
 	f.paths = make(map[[2]string][]*Link) // invalidate route cache
 	return l
 }
@@ -198,6 +209,9 @@ func (f *Fabric) transfer(p *sim.Proc, from, to *Device, size int) {
 		p.Sleep(l.latency + ser)
 		l.bytesMoved += uint64(size)
 		l.busyTime += l.latency + ser
+		if f.check.Enabled() {
+			f.hopBytes += uint64(size)
+		}
 		l.busy.Release()
 	}
 }
@@ -230,6 +244,39 @@ func (f *Fabric) FlushBarrier(p *sim.Proc, from, to *Device, region *memdev.Regi
 
 // Transfers reports the number of DMA operations performed.
 func (f *Fabric) Transfers() uint64 { return f.transfers }
+
+// RegisterInvariants installs ck and registers the fabric's end-of-run
+// checks: per-link byte conservation against the fabric-global hop ledger
+// (from ck's installation onward) and link occupancy never exceeding
+// elapsed virtual time.
+func (f *Fabric) RegisterInvariants(ck *check.Checker) {
+	if !ck.Enabled() {
+		return
+	}
+	f.check = ck
+	var baseline uint64
+	for _, l := range f.links {
+		baseline += l.bytesMoved
+	}
+	ck.AddFinisher("fabric.byte-conservation", func(fail func(string, ...any)) {
+		var moved uint64
+		for _, l := range f.links {
+			moved += l.bytesMoved
+		}
+		if moved-baseline != f.hopBytes {
+			fail("links accumulated %d bytes, hop ledger %d", moved-baseline, f.hopBytes)
+		}
+	})
+	ck.AddFinisher("fabric.link-occupancy", func(fail func(string, ...any)) {
+		elapsed := time.Duration(f.sim.Now())
+		for i, l := range f.links {
+			if l.busyTime > elapsed {
+				fail("link %d (%s<->%s) busy %v beyond elapsed %v",
+					i, l.a.nodeName(), l.b.nodeName(), l.busyTime, elapsed)
+			}
+		}
+	})
+}
 
 // LinkBytes reports bytes moved across the link (both directions).
 func (l *Link) LinkBytes() uint64 { return l.bytesMoved }

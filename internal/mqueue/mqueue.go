@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/check"
 	"lynx/internal/fault"
 	"lynx/internal/memdev"
 	"lynx/internal/rdma"
@@ -92,6 +93,10 @@ type Config struct {
 	// NoCoalesce disables metadata/data coalescing (ablation): payload and
 	// doorbell go in separate RDMA writes.
 	NoCoalesce bool
+	// Check, when enabled, receives ring-bound and counter-monotonicity
+	// violations observed on the SNIC side of the queue. Nil costs one
+	// pointer test per operation.
+	Check *check.Checker
 }
 
 func (c *Config) validate() error {
@@ -199,6 +204,10 @@ func (q *Queue) Push(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
 	// assignment must not be computed from a stale head after a yield.
 	slot := int(q.rxHead % uint64(q.cfg.Slots))
 	q.rxHead++
+	if ck := q.cfg.Check; ck.Enabled() && q.rxHead-q.rxConsumed > uint64(q.cfg.Slots) {
+		ck.Failf("mqueue.ring-bound", "RX overcommit: head %d consumed %d slots %d",
+			q.rxHead, q.rxConsumed, q.cfg.Slots)
+	}
 	off := q.lay.rxSlot(q.cfg, slot)
 	switch {
 	case q.cfg.Barrier:
@@ -245,6 +254,10 @@ func (q *Queue) PushAsync(p *sim.Proc, payload []byte, errStatus byte) (int, err
 	}
 	slot := int(q.rxHead % uint64(q.cfg.Slots))
 	q.rxHead++
+	if ck := q.cfg.Check; ck.Enabled() && q.rxHead-q.rxConsumed > uint64(q.cfg.Slots) {
+		ck.Failf("mqueue.ring-bound", "async RX overcommit: head %d consumed %d slots %d",
+			q.rxHead, q.rxConsumed, q.cfg.Slots)
+	}
 	off := q.lay.rxSlot(q.cfg, slot)
 	q.qp.Post(p, rdma.WR{Op: rdma.OpWrite, Region: q.region, Offset: off,
 		Data: buildSlot(payload, errStatus, 0, 1)})
@@ -260,8 +273,25 @@ func (q *Queue) Refresh(p *sim.Proc) {
 
 // absorbHeader ingests the accelerator-written half of a header block.
 func (q *Queue) absorbHeader(raw []byte) {
-	q.rxConsumed = leUint64(raw[hdrRxConsumed:])
-	q.txSeen = leUint64(raw[hdrTxSent:])
+	rxConsumed := leUint64(raw[hdrRxConsumed:])
+	txSeen := leUint64(raw[hdrTxSent:])
+	if ck := q.cfg.Check; ck.Enabled() {
+		// The accelerator's counters only ever advance, never past what the
+		// SNIC produced (RX) or more than a ring beyond what it drained (TX).
+		if rxConsumed < q.rxConsumed || txSeen < q.txSeen {
+			ck.Failf("mqueue.counter-monotonic", "header went backwards: rxConsumed %d->%d txSeen %d->%d",
+				q.rxConsumed, rxConsumed, q.txSeen, txSeen)
+		}
+		if rxConsumed > q.rxHead {
+			ck.Failf("mqueue.counter-bound", "rxConsumed %d beyond pushed head %d", rxConsumed, q.rxHead)
+		}
+		if txSeen > q.txTail+uint64(q.cfg.Slots) {
+			ck.Failf("mqueue.ring-bound", "TX overcommit: seen %d drained %d slots %d",
+				txSeen, q.txTail, q.cfg.Slots)
+		}
+	}
+	q.rxConsumed = rxConsumed
+	q.txSeen = txSeen
 }
 
 // Ready reports whether, per the cached counters, the TX ring has messages.
@@ -289,6 +319,8 @@ func (q *Queue) PopTx(p *sim.Proc) (TxMsg, bool) {
 		// Counter said ready but the slot write is not visible — cannot
 		// happen with local accelerator stores (strong ordering), kept as
 		// a guard.
+		q.cfg.Check.Failf("mqueue.doorbell-miss",
+			"TX slot %d counted ready (seen %d, drained %d) but doorbell clear", slot, q.txSeen, q.txTail)
 		return TxMsg{}, false
 	}
 	size := int(raw[offSize]) | int(raw[offSize+1])<<8
@@ -452,6 +484,9 @@ type AccessProfile struct {
 	// Spans, when non-nil, receives accelerator-side stage timestamps
 	// (RX consume, TX publish) for request-scoped tracing.
 	Spans *trace.SpanTable
+	// Check, when enabled, receives slot-corruption and correlation-range
+	// violations observed on the accelerator side.
+	Check *check.Checker
 }
 
 // AccelQueue is the accelerator-side handle: the lightweight I/O layer that
@@ -548,6 +583,10 @@ func (aq *AccelQueue) TryRecv(p *sim.Proc) (Msg, bool) {
 	p.Sleep(aq.prof.LocalAccess)
 	hdr := aq.region.ReadLocal(off, HeaderBytes)
 	size := int(hdr[offSize]) | int(hdr[offSize+1])<<8
+	if ck := aq.prof.Check; ck.Enabled() && size > aq.cfg.MaxPayload() {
+		ck.Failf("mqueue.slot-corrupt", "RX slot %d size %d exceeds capacity %d",
+			slot, size, aq.cfg.MaxPayload())
+	}
 	payload := aq.region.ReadLocal(off+HeaderBytes, size)
 	// Clear doorbell and publish consumption.
 	p.Sleep(aq.prof.LocalAccess)
@@ -620,12 +659,16 @@ func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatu
 		return fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), aq.cfg.MaxPayload())
 	}
 	aq.maybeStall(p)
+	if ck := aq.prof.Check; ck.Enabled() && aq.cfg.Kind == ServerQueue && int(corr) >= aq.cfg.Slots {
+		ck.Failf("mqueue.corr-range", "response correlates to slot %d of %d", corr, aq.cfg.Slots)
+	}
 	// Wait for the SNIC to have freed this slot (polling the SNIC-written
 	// consumed counter; blocked on its write gate in the simulator).
+	var consumed uint64
 	for {
 		v := aq.txFreeGate.Version()
 		p.Sleep(aq.prof.LocalAccess)
-		consumed := leUint64(aq.region.ReadLocal(aq.lay.hdr+hdrTxConsumed, 8))
+		consumed = leUint64(aq.region.ReadLocal(aq.lay.hdr+hdrTxConsumed, 8))
 		if aq.txHead-consumed < uint64(aq.cfg.Slots) {
 			break
 		}
@@ -633,6 +676,10 @@ func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatu
 		p.Sleep(aq.prof.PollInterval / 2)
 	}
 	slot := int(aq.txHead % uint64(aq.cfg.Slots))
+	if ck := aq.prof.Check; ck.Enabled() && aq.txHead+1-consumed > uint64(aq.cfg.Slots) {
+		ck.Failf("mqueue.ring-bound", "TX overcommit: head %d consumed %d slots %d",
+			aq.txHead+1, consumed, aq.cfg.Slots)
+	}
 	off := aq.lay.txSlot(aq.cfg, slot)
 	buf := buildSlot(payload, errStatus, corr, 1)
 	p.Sleep(aq.prof.LocalAccess)

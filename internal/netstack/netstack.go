@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/check"
 	"lynx/internal/fault"
 	"lynx/internal/model"
 	"lynx/internal/sim"
@@ -65,6 +66,19 @@ type Network struct {
 	hosts     map[string]*Host
 	ephemeral uint16
 	faults    *fault.Plan
+
+	// check and the udp* ledgers implement datagram conservation: every
+	// datagram launched is eventually delivered, dropped at a full receive
+	// queue, unreachable, or still in flight at shutdown — never duplicated
+	// beyond the fault plan's say-so. Maintained only while a checker is
+	// installed.
+	check          *check.Checker
+	udpSent        uint64
+	udpDuplicated  uint64
+	udpWireDropped uint64
+	udpDelivered   uint64
+	udpRxqDropped  uint64
+	udpUnreachable uint64
 }
 
 // New creates an empty network using the wire constants in params.
@@ -78,6 +92,26 @@ func (n *Network) SetFaults(pl *fault.Plan) { n.faults = pl }
 
 // Faults returns the installed fault plan (possibly nil).
 func (n *Network) Faults() *fault.Plan { return n.faults }
+
+// RegisterInvariants installs ck and registers the network's end-of-run
+// check: every datagram launched since installation is accounted for as
+// delivered, dropped (wire or receive queue), unreachable, or still in
+// flight at shutdown (a non-negative remainder).
+func (n *Network) RegisterInvariants(ck *check.Checker) {
+	if !ck.Enabled() {
+		return
+	}
+	n.check = ck
+	ck.AddFinisher("netstack.datagram-conservation", func(fail func(string, ...any)) {
+		launched := n.udpSent + n.udpDuplicated - n.udpWireDropped
+		accounted := n.udpDelivered + n.udpRxqDropped + n.udpUnreachable
+		if accounted > launched {
+			fail("accounted %d datagrams (delivered %d, rxq-dropped %d, unreachable %d) exceed launched %d (sent %d, dup %d, wire-dropped %d)",
+				accounted, n.udpDelivered, n.udpRxqDropped, n.udpUnreachable,
+				launched, n.udpSent, n.udpDuplicated, n.udpWireDropped)
+		}
+	})
+}
 
 // link is a simplex link modelled with a next-free-time token.
 type link struct {
@@ -210,12 +244,20 @@ func (s *UDPSocket) Addr() Addr { return s.host.Addr(s.port) }
 // are silently dropped (as on a real network). The payload is copied. The
 // network's fault plan, if any, may drop, duplicate or delay the datagram.
 func (s *UDPSocket) SendTo(to Addr, payload []byte) {
-	dst, ok := s.host.net.hosts[to.Host]
+	n := s.host.net
+	checked := n.check.Enabled()
+	dst, ok := n.hosts[to.Host]
 	if !ok {
 		return
 	}
-	fate, extra := s.host.net.faults.Datagram()
+	if checked {
+		n.udpSent++
+	}
+	fate, extra := n.faults.Datagram()
 	if fate == fault.Drop {
+		if checked {
+			n.udpWireDropped++
+		}
 		return // lost on the wire
 	}
 	buf := make([]byte, len(payload))
@@ -224,16 +266,27 @@ func (s *UDPSocket) SendTo(to Addr, payload []byte) {
 	deliver := func() {
 		sock, ok := dst.udp[to.Port]
 		if !ok {
+			if checked {
+				n.udpUnreachable++
+			}
 			return // port unreachable
 		}
 		if !sock.rxq.TryPut(dg) {
 			dst.dropped++
+			if checked {
+				n.udpRxqDropped++
+			}
+		} else if checked {
+			n.udpDelivered++
 		}
 	}
-	s.host.net.transmitDelayed(s.host, dst, len(payload), udpOverhead, extra, deliver)
+	n.transmitDelayed(s.host, dst, len(payload), udpOverhead, extra, deliver)
 	if fate == fault.Duplicate {
+		if checked {
+			n.udpDuplicated++
+		}
 		// The copy serializes behind the original on the same links.
-		s.host.net.transmitDelayed(s.host, dst, len(payload), udpOverhead, extra, deliver)
+		n.transmitDelayed(s.host, dst, len(payload), udpOverhead, extra, deliver)
 	}
 }
 

@@ -64,6 +64,19 @@ type Sim struct {
 
 	executed uint64
 
+	// timeRegressions counts events that executed with a timestamp earlier
+	// than the clock — impossible in a correct heap, so any non-zero value
+	// is an ordering bug. Maintained unconditionally: it is one branch per
+	// event, and the invariant layer (internal/check) asserts it is zero.
+	timeRegressions uint64
+
+	// onShutdown callbacks run once inside Shutdown, after every process has
+	// unwound but before the event heap is dropped — the point where
+	// end-of-run invariants (request conservation, in-flight accounting) see
+	// final, stable state.
+	onShutdown []func()
+	shutdown   bool
+
 	// yield is signalled by the currently running process when it blocks or
 	// exits, returning control to the scheduler.
 	yield chan struct{}
@@ -91,6 +104,15 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Executed reports the total number of events executed so far.
 func (s *Sim) Executed() uint64 { return s.executed }
+
+// TimeRegressions reports how many events ran with a timestamp before the
+// clock. Always zero unless the event heap's total order is broken.
+func (s *Sim) TimeRegressions() uint64 { return s.timeRegressions }
+
+// OnShutdown registers fn to run once during Shutdown, after all processes
+// have unwound and before the event heap is dropped. Hooks run in
+// registration order.
+func (s *Sim) OnShutdown(fn func()) { s.onShutdown = append(s.onShutdown, fn) }
 
 // event is one scheduled entry. The common case — resuming a blocked
 // process — stores the process directly; only irregular callbacks (timeouts,
@@ -195,6 +217,9 @@ func (s *Sim) RunUntil(limit Time) {
 			return
 		}
 		e := s.popMin()
+		if e.at < s.now {
+			s.timeRegressions++
+		}
 		s.now = e.at
 		s.executed++
 		if e.proc != nil {
@@ -335,6 +360,13 @@ func (s *Sim) Shutdown() {
 	// each live proc directly.
 	for _, p := range s.order {
 		s.step(p)
+	}
+	if !s.shutdown {
+		s.shutdown = true
+		for _, fn := range s.onShutdown {
+			fn()
+		}
+		s.onShutdown = nil
 	}
 	// Drop remaining events; their closures may reference dead procs.
 	s.events = nil

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lynx/internal/accel"
+	"lynx/internal/check"
 	"lynx/internal/core"
 	"lynx/internal/cpuarch"
 	"lynx/internal/fabric"
@@ -40,6 +41,11 @@ type Testbed struct {
 	// the PCIe fabric, every RDMA engine and every accelerator. Nil (the
 	// default) injects nothing.
 	Faults *fault.Plan
+	// Check is the deployment-wide invariant checker installed by
+	// EnableInvariants. Nil (the default) checks nothing; Platform
+	// constructors and the Innova serve path thread it through to the
+	// runtime and every mqueue.
+	Check *check.Checker
 }
 
 // NewTestbed creates an empty deployment with no fault injection.
@@ -66,6 +72,27 @@ func NewTestbedWith(seed uint64, p *model.Params, fc fault.Config) *Testbed {
 		tb.Fab.SetFaults(tb.Faults)
 	}
 	return tb
+}
+
+// EnableInvariants installs ck as the testbed-wide invariant checker: the
+// netstack and PCIe fabric register their conservation finishers, the
+// simulator's virtual-time sanity check is added, and ck.Finalize runs
+// automatically when the simulation shuts down. Platforms and Innova servers
+// created after this call thread ck through to the runtime and mqueues.
+// A nil/disabled ck is a no-op.
+func (tb *Testbed) EnableInvariants(ck *check.Checker) {
+	if !ck.Enabled() {
+		return
+	}
+	tb.Check = ck
+	tb.Net.RegisterInvariants(ck)
+	tb.Fab.RegisterInvariants(ck)
+	ck.AddFinisher("sim.time-monotonic", func(fail func(string, ...any)) {
+		if n := tb.Sim.TimeRegressions(); n > 0 {
+			fail("%d events dispatched before the clock they were scheduled at", n)
+		}
+	})
+	tb.Sim.OnShutdown(func() { ck.Finalize() })
 }
 
 // Machine is one physical server: Xeon cores, a PCIe switch, a ConnectX NIC
@@ -202,6 +229,7 @@ func (bf *BlueField) Platform(workers int) core.Platform {
 		RDMA:    bf.RDMA,
 		Workers: workers,
 		Bypass:  true, // VMA, §5.1.1
+		Check:   bf.Host.TB.Check,
 	}
 }
 
@@ -216,6 +244,7 @@ func (m *Machine) HostPlatform(workers int, bypass bool) core.Platform {
 		RDMA:    m.RDMA,
 		Workers: workers,
 		Bypass:  bypass,
+		Check:   m.TB.Check,
 	}
 }
 
@@ -283,11 +312,14 @@ func (in *Innova) serve(port uint16, acc accel.Accelerator, cfg mqueue.Config, n
 	// NICA uses an InfiniBand UC QP for the custom ring (§5.2), driven
 	// directly by FPGA logic (no CPU issue cost, fully pipelined writes).
 	qp := in.RDMA.CreateQP(acc.Device(), rdma.QPConfig{Kind: rdma.UC, Remote: acc.RemoteHost() != "", HWIssue: true})
+	cfg.Check = tb.Check
 	group, err := mqueue.NewGroup(region, 0, cfg, n, qp)
 	if err != nil {
 		return nil, nil, err
 	}
-	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, acc.Profile())
+	prof := acc.Profile()
+	prof.Check = tb.Check
+	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, prof)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -376,6 +408,8 @@ func (in *Innova) serve(port uint16, acc accel.Accelerator, cfg mqueue.Config, n
 						in.pipeline.With(p, tb.Params.InnovaPipeline, nil)
 						fifo := pending[qi].fifo[msg.Corr]
 						if len(fifo) == 0 {
+							tb.Check.Failf("snic.orphan-response",
+								"innova q%d: TX message for slot %d has no pending request", qi, msg.Corr)
 							continue
 						}
 						to := fifo[0]

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSpanID checks the payload span-ID convention against the stdlib
+// little-endian decoder: any 8-byte-or-longer payload round-trips through
+// SpanID exactly, and anything shorter decodes to 0 ("no span") without
+// panicking. The convention must hold for arbitrary bytes because span IDs
+// ride inside request payloads that accelerator code echoes untouched.
+func FuzzSpanID(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint64(nil, 0xdeadbeefcafebabe))
+	f.Add(append(binary.LittleEndian.AppendUint64(nil, 1), []byte("trailing payload")...))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		id := SpanID(b)
+		if len(b) < 8 {
+			if id != 0 {
+				t.Fatalf("SpanID(%d bytes) = %#x, want 0", len(b), id)
+			}
+			return
+		}
+		if want := binary.LittleEndian.Uint64(b); id != want {
+			t.Fatalf("SpanID = %#x, want %#x", id, want)
+		}
+		// Round-trip: re-encoding the extracted ID reproduces the prefix,
+		// so the workload's encoder and this decoder cannot drift.
+		var enc [8]byte
+		binary.LittleEndian.PutUint64(enc[:], id)
+		for i := range enc {
+			if enc[i] != b[i] {
+				t.Fatalf("byte %d: re-encoded %#x, payload %#x", i, enc[i], b[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package trace
+
+import "lynx/internal/check"
+
+// RegisterInvariants installs end-of-run consistency checks over the span
+// table: per-span stage monotonicity (timestamps never run backwards along
+// the request path) and the telescoping identity of the phase decomposition
+// (the five phase histograms sum exactly to the end-to-end histogram, both in
+// count and in accumulated time). A nil table or disabled checker is a no-op.
+func (t *SpanTable) RegisterInvariants(ck *check.Checker) {
+	if t == nil || !ck.Enabled() {
+		return
+	}
+	ck.AddFinisher("trace.span-monotonic", func(fail func(string, ...any)) {
+		bad := 0
+		for _, s := range t.Spans() {
+			last, haveLast := int64(0), false
+			var lastStage Stage
+			for st := StageClientSend; st <= StageClientRecv; st++ {
+				at, ok := s.At(st)
+				if !ok {
+					continue
+				}
+				if haveLast && int64(at) < last {
+					if bad < 4 {
+						fail("span %d: %s at %d precedes %s at %d",
+							s.ID, st, int64(at), lastStage, last)
+					}
+					bad++
+				}
+				last, haveLast, lastStage = int64(at), true, st
+			}
+			if out, ok := s.At(StageBackendOut); ok {
+				if in, ok2 := s.At(StageBackendIn); ok2 && in < out {
+					if bad < 4 {
+						fail("span %d: backend-in at %d precedes backend-out at %d",
+							s.ID, int64(in), int64(out))
+					}
+					bad++
+				}
+			}
+		}
+		if bad > 4 {
+			fail("%d spans with non-monotone stages in total", bad)
+		}
+	})
+	ck.AddFinisher("trace.phase-telescope", func(fail func(string, ...any)) {
+		e2e := t.EndToEnd()
+		var sum int64
+		for p := PhaseNetwork; p < NumPhases; p++ {
+			h := t.PhaseHist(p)
+			if h.Count() != e2e.Count() {
+				fail("phase %s recorded %d spans, end-to-end %d", p, h.Count(), e2e.Count())
+			}
+			sum += int64(h.Sum())
+		}
+		if sum != int64(e2e.Sum()) {
+			fail("phase sums total %d, end-to-end %d", sum, int64(e2e.Sum()))
+		}
+	})
+}

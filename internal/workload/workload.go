@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"lynx/internal/check"
 	"lynx/internal/metrics"
 	"lynx/internal/netstack"
 	"lynx/internal/sim"
@@ -82,6 +83,10 @@ type Config struct {
 	// sequence number is the span ID, matching the server-side stamps) and
 	// closes it on response, loss, or timeout.
 	Spans *trace.SpanTable
+	// Check, when enabled, registers the generator's end-of-run request
+	// conservation check: every request ever issued (warmup included) is
+	// matched to a response, abandoned, or still in flight at shutdown.
+	Check *check.Checker
 }
 
 // Result summarizes one run.
@@ -141,6 +146,12 @@ type Generator struct {
 	endAt     sim.Time
 	inflight  map[uint64]sim.Time
 	done      int
+
+	// Lifetime request ledger (warmup included), for the conservation
+	// invariant: issued == matched + abandoned + len(inflight).
+	issued    uint64
+	matched   uint64
+	abandoned uint64
 }
 
 // New creates a generator sending from the given client hosts (requests are
@@ -161,16 +172,26 @@ func New(s *sim.Sim, cfg Config, hosts ...*netstack.Host) *Generator {
 	if cfg.BasePort == 0 {
 		cfg.BasePort = 20000
 	}
-	return &Generator{
+	g := &Generator{
 		sim: s, hosts: hosts, cfg: cfg,
 		result:   Result{Hist: metrics.NewHistogram()},
 		inflight: make(map[uint64]sim.Time),
 	}
+	if ck := cfg.Check; ck.Enabled() {
+		ck.AddFinisher("workload.request-conservation", func(fail func(string, ...any)) {
+			if g.issued != g.matched+g.abandoned+uint64(len(g.inflight)) {
+				fail("issued %d != matched %d + abandoned %d + in-flight %d",
+					g.issued, g.matched, g.abandoned, len(g.inflight))
+			}
+		})
+	}
+	return g
 }
 
 // request builds the next request buffer.
 func (g *Generator) request() ([]byte, uint64) {
 	g.seq++
+	g.issued++
 	buf := make([]byte, g.cfg.Payload)
 	PutSeq(buf, g.seq)
 	if g.cfg.Body != nil {
@@ -202,6 +223,7 @@ func (g *Generator) record(msg []byte, at sim.Time) {
 		return
 	}
 	delete(g.inflight, seq)
+	g.matched++
 	if g.measuring && sent >= g.startedAt {
 		g.result.Received++
 		g.result.Hist.Record(at.Sub(sent))
@@ -242,6 +264,12 @@ func (g *Generator) Run() *Result {
 
 // Done reports whether all client processes finished their window.
 func (g *Generator) Done() bool { return g.done == g.cfg.Clients }
+
+// Ledger reports the lifetime request accounting (warmup included):
+// requests issued, matched to responses, abandoned, and still in flight.
+func (g *Generator) Ledger() (issued, matched, abandoned, inflight uint64) {
+	return g.issued, g.matched, g.abandoned, uint64(len(g.inflight))
+}
 
 func (g *Generator) host(i int) *netstack.Host { return g.hosts[i%len(g.hosts)] }
 
@@ -284,6 +312,7 @@ func (g *Generator) runUDP() {
 					}
 					if attempts >= g.cfg.Retries {
 						delete(g.inflight, seq)
+						g.abandoned++
 						if g.measuring {
 							g.result.Lost++
 						}
@@ -385,6 +414,7 @@ func (g *Generator) runTCP() {
 				}
 				if !ok {
 					delete(g.inflight, seq)
+					g.abandoned++
 					if g.measuring {
 						g.result.Lost++
 					}

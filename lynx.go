@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lynx/internal/accel"
+	"lynx/internal/check"
 	"lynx/internal/core"
 	"lynx/internal/fault"
 	"lynx/internal/model"
@@ -37,6 +38,7 @@ type (
 	Cluster struct {
 		tb     *snic.Testbed
 		params *model.Params
+		check  *check.Checker
 	}
 	// Machine is one physical server.
 	Machine = snic.Machine
@@ -91,6 +93,12 @@ type (
 	FaultStall = fault.Stall
 	// FaultStats counts the faults a cluster's plan actually injected.
 	FaultStats = fault.Stats
+	// InvariantReport is the outcome of a WithInvariants run: the recorded
+	// violations (empty on a healthy run) and how many end-of-run checks
+	// were evaluated.
+	InvariantReport = check.Report
+	// InvariantViolation is one failed runtime invariant.
+	InvariantViolation = check.Violation
 )
 
 // Protocols and queue kinds.
@@ -113,9 +121,10 @@ func DefaultParams() Params { return model.Default() }
 type Option func(*clusterConfig)
 
 type clusterConfig struct {
-	seed   uint64
-	params *Params
-	faults FaultConfig
+	seed       uint64
+	params     *Params
+	faults     FaultConfig
+	invariants bool
 }
 
 // WithSeed sets the simulation seed. Identical seeds (and options) produce
@@ -137,6 +146,18 @@ func WithParams(p *Params) Option {
 // pair replays the exact same fault sequence.
 func WithFaults(fc FaultConfig) Option {
 	return func(c *clusterConfig) { c.faults = fc }
+}
+
+// WithInvariants arms the cluster's runtime invariant checker: every layer
+// (simulator clock, mqueue rings, PCIe fabric, netstack, runtime, workload)
+// asserts its conservation and bounds invariants as the simulation runs, and
+// end-of-run finishers are evaluated when the cluster is Closed. Read the
+// outcome with InvariantReport. The checks are cheap (a pointer test per
+// guarded site when enabled, branch-only when not) and never change
+// simulation behaviour, so a checked run stays bit-identical to an unchecked
+// one.
+func WithInvariants() Option {
+	return func(c *clusterConfig) { c.invariants = true }
 }
 
 // NewCluster creates an empty simulated deployment.
@@ -161,10 +182,15 @@ func NewCluster(opts ...Option) *Cluster {
 		def := model.Default()
 		cfg.params = &def
 	}
-	return &Cluster{
+	c := &Cluster{
 		tb:     snic.NewTestbedWith(cfg.seed, cfg.params, cfg.faults),
 		params: cfg.params,
 	}
+	if cfg.invariants {
+		c.check = check.New()
+		c.tb.EnableInvariants(c.check)
+	}
+	return c
 }
 
 // Params returns the cluster's model constants.
@@ -206,21 +232,32 @@ func (c *Cluster) RunUntil(d time.Duration, cond func() bool) {
 	c.tb.Sim.RunUntilCond(c.tb.Sim.Now().Add(d), time.Millisecond, cond)
 }
 
-// Close shuts the cluster down, unwinding all simulated processes.
+// Close shuts the cluster down, unwinding all simulated processes. With
+// WithInvariants armed, the end-of-run invariant finishers evaluate here.
 func (c *Cluster) Close() { c.tb.Sim.Shutdown() }
+
+// InvariantReport returns the invariant checker's findings. After Close it
+// includes the end-of-run conservation checks; before Close it covers only
+// the violations recorded so far. Without WithInvariants it is empty and
+// passing.
+func (c *Cluster) InvariantReport() InvariantReport { return c.check.Snapshot() }
 
 // Testbed exposes the underlying testbed for advanced wiring (Innova,
 // custom fabrics, direct access to the simulator).
 func (c *Cluster) Testbed() *snic.Testbed { return c.tb }
 
 // NewLoad creates a workload generator targeting a service from the given
-// client hosts.
+// client hosts. With WithInvariants armed, the generator's request ledger
+// joins the cluster's conservation checks.
 func (c *Cluster) NewLoad(cfg LoadConfig, clients ...*Host) *workload.Generator {
+	if cfg.Check == nil {
+		cfg.Check = c.check
+	}
 	return workload.New(c.tb.Sim, cfg, clients...)
 }
 
 // MeasureLoad runs a workload to completion and returns its result.
 func (c *Cluster) MeasureLoad(cfg LoadConfig, clients ...*Host) LoadResult {
-	g := workload.New(c.tb.Sim, cfg, clients...)
+	g := c.NewLoad(cfg, clients...)
 	return workload.RunFor(c.tb.Sim, g)
 }

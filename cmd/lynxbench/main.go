@@ -9,6 +9,9 @@
 //	lynxbench -seed 7               # different deterministic seed
 //	lynxbench -exp all -parallel 1  # force sequential sweeps
 //	lynxbench -exp all -invariants  # assert runtime invariants on every run
+//	lynxbench -exp attribution -profile-json prof.json
+//	                                # dump the tail-latency attribution report
+//	lynxbench -exp fig6 -top 10     # table of the 10 slowest requests
 //
 // Output is a text table per experiment, with the paper's numbers alongside
 // the measured ones. Runs are bit-reproducible for a given seed and scale:
@@ -48,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("parallel", 0, "sweep workers: 0 = one per CPU, 1 = sequential, n = n workers")
 		invariants = fs.Bool("invariants", false, "arm runtime invariant checks on every simulation; non-zero exit on any violation")
 		traceJSON  = fs.String("trace-json", "", "write a Chrome trace-event timeline from instrumented experiments (breakdown) to this file")
+		profJSON   = fs.String("profile-json", "", "write the tail-latency attribution report (wait/service decomposition, bottleneck ranking, flight recorder) from instrumented experiments (breakdown, attribution) to this file")
+		topN       = fs.Int("top", 0, "print the N slowest requests (status, per-phase wait/service) after the runs")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -88,7 +93,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if workers <= 0 {
 		workers = experiments.AutoWorkers
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON, ProfileJSON: *profJSON}
+	if *topN > 0 {
+		cfg.Top = experiments.NewTopCollector(*topN)
+	}
 	if *loss > 0 {
 		cfg.Faults = fault.Config{Seed: *seed, DropRate: *loss}
 	}
@@ -110,6 +118,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintln(stdout, report)
 		fmt.Fprintf(stdout, "  (%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if cfg.Top != nil {
+		if *csv {
+			fmt.Fprint(stdout, cfg.Top.Table().CSV())
+		} else {
+			fmt.Fprintln(stdout, cfg.Top.Table())
+		}
 	}
 
 	if *memprofile != "" {

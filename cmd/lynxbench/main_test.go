@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -58,5 +61,32 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "sec511-vma,") {
 		t.Errorf("CSV output malformed:\n%s", out.String())
+	}
+}
+
+func TestTopAndProfileJSONFlags(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prof.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-exp", "breakdown", "-scale", "0.1", "-top", "3", "-profile-json", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "slowest requests") || !strings.Contains(s, "span ") {
+		t.Errorf("-top table missing:\n%s", s)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("-profile-json wrote nothing: %v", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("profile JSON invalid: %v", err)
+	}
+	for _, key := range []string{"spans_closed", "phases", "bottlenecks", "top"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("profile JSON missing %q", key)
+		}
 	}
 }

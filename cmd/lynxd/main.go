@@ -9,6 +9,7 @@
 //	lynxd -platform xeon -cores 6  # run Lynx on host cores instead
 //	lynxd -rate 50000 -secs 2      # open-loop load, simulated seconds
 //	lynxd -invariants              # arm runtime invariant checks
+//	lynxd -profile-json prof.json  # tail-latency attribution report on exit
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed       = fs.Uint64("seed", 1, "simulation seed")
 		traceN     = fs.Int("trace", 0, "dump the last N runtime trace events")
 		traceOut   = fs.String("trace-json", "", "write a Chrome trace-event timeline (spans, samples, events) to this file")
+		profOut    = fs.String("profile-json", "", "write the tail-latency attribution report (wait/service decomposition, bottleneck ranking, flight recorder) to this file on exit; with -invariants, the first violation also dumps <file>.postmortem")
 		invariants = fs.Bool("invariants", false, "arm runtime invariant checks; non-zero exit on any violation")
 		loss       = fs.Float64("loss", 0, "inject datagram drop probability (0..1)")
 		dup        = fs.Float64("dup", 0, "inject datagram duplication probability (0..1)")
@@ -71,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *invariants {
 		opts = append(opts, lynx.WithInvariants())
 	}
+	if *profOut != "" {
+		opts = append(opts, lynx.WithProfile())
+	}
 	cluster := lynx.NewCluster(opts...)
 	server := cluster.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
@@ -92,12 +97,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var spans *trace.SpanTable
 	var reg *metrics.Registry
-	if *traceOut != "" {
+	if prof := cluster.Profile(); prof != nil {
+		// The profiling plane owns the span table and registry; the trace
+		// export (if any) shares them so both views agree.
+		spans = prof.Spans()
+		reg = prof.Registry()
+	} else if *traceOut != "" {
 		spans = trace.NewSpanTable(1 << 15)
 		plat.Spans = spans
 		reg = metrics.NewRegistry()
 	}
-	srv := lynx.NewServer(plat)
+	srv := cluster.NewServer(plat)
 
 	var payload int
 	var body func(seq uint64, buf []byte)
@@ -163,8 +173,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	if reg != nil {
-		srv.StartMonitor(50*time.Microsecond, reg)
+		if cluster.Profile() == nil {
+			// With WithProfile the cluster already started the monitor.
+			srv.StartMonitor(50*time.Microsecond, reg)
+		}
 		cluster.Testbed().RegisterStats(reg)
+	}
+	if *profOut != "" {
+		cluster.ArmProfilePostmortem(*profOut + ".postmortem")
 	}
 
 	target := plat.NetHost.Addr(7000)
@@ -206,6 +222,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "trace timeline written to %s (spans begun=%d closed=%d evicted=%d)\n",
 			*traceOut, spans.Begun(), spans.Closed(), spans.Evicted())
+	}
+	if *profOut != "" {
+		if err := cluster.WriteProfile(*profOut); err != nil {
+			return fail(err)
+		}
+		rep := cluster.ProfileReport()
+		fmt.Fprintf(stdout, "profile report written to %s (spans closed=%d)\n", *profOut, rep.SpansClosed)
+		if s := rep.BottleneckSummary(); s != "" {
+			fmt.Fprintf(stdout, "bottlenecks:\n%s", s)
+		}
 	}
 	cluster.Close()
 	if *invariants {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -57,5 +60,32 @@ func TestBadFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestProfileJSONFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prof.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-secs", "0.05", "-profile-json", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "profile report written to") {
+		t.Errorf("missing profile summary:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		SpansClosed uint64           `json:"spans_closed"`
+		Bottlenecks []map[string]any `json:"bottlenecks"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("profile JSON invalid: %v", err)
+	}
+	if rep.SpansClosed == 0 || len(rep.Bottlenecks) == 0 {
+		t.Fatalf("profile JSON empty: %+v", rep)
 	}
 }

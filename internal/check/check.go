@@ -45,11 +45,13 @@ func (v Violation) String() string { return v.Kind + ": " + v.Detail }
 // Checker accumulates invariant violations for one simulated cluster. The
 // zero of *Checker (nil) is a disabled checker: every method is a no-op.
 type Checker struct {
-	mu         sync.Mutex
-	violations []Violation
-	dropped    int
-	finishers  []finisher
-	finalized  bool
+	mu          sync.Mutex
+	violations  []Violation
+	dropped     int
+	finishers   []finisher
+	finalized   bool
+	onViolation func(Violation)
+	fired       bool
 }
 
 type finisher struct {
@@ -64,14 +66,37 @@ func New() *Checker { return &Checker{} }
 // instrumented code uses before evaluating an invariant's condition.
 func (c *Checker) Enabled() bool { return c != nil }
 
+// SetOnViolation installs a hook invoked once, on the first recorded
+// violation. The hook runs outside the checker's lock, so it may call back
+// into the checker (Snapshot, Failf) or dump arbitrary state — this is how
+// the profiler arms its postmortem flight-recorder dump. Last call wins.
+// Nil-safe.
+func (c *Checker) SetOnViolation(fn func(Violation)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onViolation = fn
+	c.mu.Unlock()
+}
+
 // Failf records a violation of the named invariant. Nil-safe.
 func (c *Checker) Failf(kind, format string, args ...any) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.failLocked(kind, format, args...)
+	var fire func(Violation)
+	var first Violation
+	if !c.fired && c.onViolation != nil && len(c.violations) > 0 {
+		c.fired = true
+		fire, first = c.onViolation, c.violations[0]
+	}
+	c.mu.Unlock()
+	if fire != nil {
+		fire(first)
+	}
 }
 
 func (c *Checker) failLocked(kind, format string, args ...any) {

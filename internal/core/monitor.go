@@ -49,7 +49,9 @@ func (rt *Runtime) StartMonitor(interval time.Duration, reg *metrics.Registry) *
 	rt.RegisterStats(reg)
 
 	coreUtil := reg.NewSeries("snic/core-util", monitorSeriesCap)
+	dispatchUtil := reg.NewSeries("snic/dispatch-util", monitorSeriesCap)
 	backlog := reg.NewSeries("snic/backlog", monitorSeriesCap)
+	wireUtil := reg.NewSeries("net/wire-util", monitorSeriesCap)
 
 	type handleProbe struct {
 		h        *AccelHandle
@@ -88,6 +90,8 @@ func (rt *Runtime) StartMonitor(interval time.Duration, reg *metrics.Registry) *
 	}
 
 	lastCPU := rt.cpuBusy
+	lastSerial := rt.serialBusy
+	lastWire := rt.plat.NetHost.WireBusy()
 	rt.plat.Sim.Spawn("lynx/monitor", func(p *sim.Proc) {
 		for {
 			p.Sleep(interval)
@@ -96,6 +100,19 @@ func (rt *Runtime) StartMonitor(interval time.Duration, reg *metrics.Registry) *
 			busy := rt.cpuBusy - lastCPU
 			lastCPU = rt.cpuBusy
 			coreUtil.Add(at, clamp01(float64(busy)/(float64(interval)*float64(rt.plat.Workers))))
+
+			// The serialized stack/dispatch section admits one worker at a
+			// time: its occupancy of a single core is the dispatcher
+			// utilization, the paper's Lynx-on-BlueField throughput limit.
+			sb := rt.serialBusy - lastSerial
+			lastSerial = rt.serialBusy
+			dispatchUtil.Add(at, clamp01(float64(sb)/float64(interval)))
+
+			// NIC wire: serialization busy time accumulates on both the up
+			// and down link, so full duplex saturation is 2x the interval.
+			wb := rt.plat.NetHost.WireBusy()
+			wireUtil.Add(at, clamp01(float64(wb-lastWire)/(2*float64(interval))))
+			lastWire = wb
 
 			st := rt.stats
 			backlog.Add(at, float64(int64(st.Received)-int64(st.Responded)-int64(st.Dropped())))

@@ -150,6 +150,7 @@ type Runtime struct {
 
 	nextEphemeral uint16
 	cpuBusy       time.Duration
+	serialBusy    time.Duration
 	execCalls     uint64
 
 	// inTransit counts requests popped from a reply FIFO but not yet
@@ -176,6 +177,12 @@ func (rt *Runtime) drop(now sim.Time, cause DropCause, qi uint64) {
 
 // CPUBusy reports accumulated runtime CPU time (for utilization probes).
 func (rt *Runtime) CPUBusy() time.Duration { return rt.cpuBusy }
+
+// SerialBusy reports accumulated time inside the serialized stack/dispatch
+// section. Its occupancy against a single core is the dispatcher utilization
+// (the section admits one worker at a time, so it saturates long before the
+// aggregate core pool does).
+func (rt *Runtime) SerialBusy() time.Duration { return rt.serialBusy }
 
 // ExecCalls reports frontend exec invocations (for utilization probes).
 func (rt *Runtime) ExecCalls() uint64 { return rt.execCalls }
@@ -232,23 +239,30 @@ func NewRuntime(plat Platform) *Runtime {
 
 // exec charges one unit of frontend CPU work, splitting it into the
 // serialized stack section (the shared VMA ring + dispatcher state) and the
-// parallel remainder (see model.StackSerialFraction).
-func (rt *Runtime) exec(p *sim.Proc, cost time.Duration) {
+// parallel remainder (see model.StackSerialFraction). It returns the time the
+// work queued for a core or the serial section beyond the charged cost — the
+// dispatcher-inbox wait the attribution profile books against PhaseSNIC.
+func (rt *Runtime) exec(p *sim.Proc, cost time.Duration) time.Duration {
 	scaled := rt.plat.Machine.Scale(cost)
 	ser := time.Duration(float64(scaled) * rt.plat.Params.StackSerialFraction)
 	rt.cpuBusy += scaled
+	rt.serialBusy += ser
 	rt.execCalls++
+	t0 := p.Now()
 	rt.serial.With(p, ser, nil)
 	rt.cores.With(p, scaled-ser, nil)
+	return p.Now().Sub(t0) - scaled
 }
 
 // execParallel charges CPU work with no serialized section: client-mqueue
 // bindings each own a dedicated connection context, so they scale with
-// cores.
-func (rt *Runtime) execParallel(p *sim.Proc, cost time.Duration) {
+// cores. Like exec it returns the queueing delay beyond the charged cost.
+func (rt *Runtime) execParallel(p *sim.Proc, cost time.Duration) time.Duration {
 	scaled := rt.plat.Machine.Scale(cost)
 	rt.cpuBusy += scaled
+	t0 := p.Now()
 	rt.cores.With(p, scaled, nil)
+	return p.Now().Sub(t0) - scaled
 }
 
 func (rt *Runtime) udpCost() time.Duration {
@@ -288,6 +302,7 @@ func (rt *Runtime) Register(acc accel.Accelerator, cfg mqueue.Config, n int) (*A
 		Remote: acc.RemoteHost() != "",
 	})
 	cfg.Check = rt.plat.Check
+	cfg.Spans = rt.plat.Spans
 	group, err := mqueue.NewGroup(region, 0, cfg, n, qp)
 	if err != nil {
 		return nil, err
@@ -519,7 +534,7 @@ func (s *Service) Addr() netstack.Addr { return s.rt.plat.NetHost.Addr(s.port) }
 func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstack.Addr) {
 	rt := s.rt
 	rt.plat.Tracer.Emit(p.Now(), trace.Recv, uint64(len(payload)), uint64(s.port))
-	rt.exec(p, rt.plat.Params.DispatchCost)
+	qw := rt.exec(p, rt.plat.Params.DispatchCost)
 	qi := s.policy.Pick(from, len(s.queues))
 	if s.queues[qi].failed {
 		for off := 1; off < len(s.queues); off++ {
@@ -531,6 +546,7 @@ func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstac
 	}
 	bq := s.queues[qi]
 	id := trace.SpanID(payload)
+	rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
 	rt.plat.Spans.Stamp(id, trace.StageDispatch, p.Now())
 	rt.plat.Spans.SetQueue(id, qi)
 	slot, err := bq.q.Push(p, payload, 0)
@@ -543,6 +559,8 @@ func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstac
 		rt.plat.Spans.Close(id, trace.SpanDropped, p.Now())
 		return
 	}
+	// Fallback for queues without their own span table (first-write-wins:
+	// a queue armed with cfg.Spans already stamped at write-delivery time).
 	rt.plat.Spans.Stamp(id, trace.StagePushed, p.Now())
 	bq.pending[slot] = append(bq.pending[slot], to)
 	rt.stats.Received++
@@ -556,7 +574,7 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 	rt.plat.Tracer.Emit(p.Now(), trace.Drain, uint64(msg.Slot), uint64(msg.Corr))
 	id := trace.SpanID(msg.Payload)
 	rt.plat.Spans.Stamp(id, trace.StageDrain, p.Now())
-	rt.exec(p, rt.plat.Params.ForwardCost)
+	qw := rt.exec(p, rt.plat.Params.ForwardCost)
 	fifo := bq.pending[msg.Corr]
 	if len(fifo) == 0 {
 		// Response without a matching request (app bug); drop.
@@ -569,16 +587,17 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 	rt.inTransit++
 	switch s.proto {
 	case UDP:
-		rt.exec(p, rt.udpCost())
+		qw += rt.exec(p, rt.udpCost())
 		s.udpSock.SendTo(to.udpFrom, msg.Payload)
 	case TCP:
-		rt.exec(p, rt.tcpCost())
+		qw += rt.exec(p, rt.tcpCost())
 		if to.conn != nil {
 			_ = to.conn.Send(p, msg.Payload)
 		}
 	}
 	rt.stats.Responded++
 	rt.inTransit--
+	rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
 	rt.plat.Spans.Stamp(id, trace.StageForward, p.Now())
 	rt.plat.Tracer.Emit(p.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
 }
@@ -687,8 +706,14 @@ func (rt *Runtime) Start() error {
 				s.Spawn(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(p *sim.Proc) {
 					for {
 						dg := svc.udpSock.Recv(p)
-						rt.plat.Spans.Stamp(trace.SpanID(dg.Payload), trace.StageSnicRecv, p.Now())
-						rt.exec(p, rt.udpCost())
+						id := trace.SpanID(dg.Payload)
+						now := p.Now()
+						rt.plat.Spans.Stamp(id, trace.StageSnicRecv, now)
+						if dg.EnqueuedAt > 0 {
+							rt.plat.Spans.AddWait(id, trace.PhaseNetwork, now.Sub(dg.EnqueuedAt))
+						}
+						qw := rt.exec(p, rt.udpCost())
+						rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
 						svc.dispatch(p, dg.Payload, replyTo{udpFrom: dg.From}, dg.From)
 					}
 				})
@@ -699,12 +724,18 @@ func (rt *Runtime) Start() error {
 					conn := svc.tcpList.Accept(p)
 					s.Spawn(fmt.Sprintf("lynx/tcp-rx:%d", svc.port), func(p *sim.Proc) {
 						for {
-							msg, err := conn.Recv(p)
+							msg, enq, err := conn.RecvQueued(p)
 							if err != nil {
 								return
 							}
-							rt.plat.Spans.Stamp(trace.SpanID(msg), trace.StageSnicRecv, p.Now())
-							rt.exec(p, rt.tcpCost())
+							id := trace.SpanID(msg)
+							now := p.Now()
+							rt.plat.Spans.Stamp(id, trace.StageSnicRecv, now)
+							if enq > 0 {
+								rt.plat.Spans.AddWait(id, trace.PhaseNetwork, now.Sub(enq))
+							}
+							qw := rt.exec(p, rt.tcpCost())
+							rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
 							svc.dispatch(p, msg, replyTo{conn: conn}, conn.RemoteAddr())
 						}
 					})

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lynx/internal/metrics"
+	"lynx/internal/profile"
 	"lynx/internal/trace"
 	"lynx/internal/workload"
 )
@@ -26,6 +27,7 @@ type breakdownOutcome struct {
 	spans  *trace.SpanTable
 	events *trace.Tracer
 	reg    *metrics.Registry
+	prof   *profile.Profile
 }
 
 // BreakdownRun drives the breakdown deployment once — the BlueField GPU echo
@@ -39,20 +41,22 @@ func BreakdownRun(cfg Config, traced bool) workload.Result {
 
 func breakdownRun(cfg Config, traced bool) breakdownOutcome {
 	e := newEnv(cfg)
-	plat := e.lynxPlatform(platLynxBF)
 	var out breakdownOutcome
 	if traced {
-		out.spans = trace.NewSpanTable(1 << 14)
+		out.spans = e.armSpans(1 << 14)
 		out.events = trace.New(4096)
-		plat.Spans = out.spans
-		plat.Tracer = out.events
-		out.spans.RegisterInvariants(e.check)
 	}
+	plat := e.lynxPlatform(platLynxBF)
+	plat.Tracer = out.events
 	addr, rt := e.echoDeployment(plat, 8, 20*time.Microsecond, 256)
 	if traced {
 		out.reg = metrics.NewRegistry()
 		rt.StartMonitor(50*time.Microsecond, out.reg)
 		e.tb.RegisterStats(out.reg)
+		out.prof = profile.Assemble(out.spans, e.rec, out.reg)
+		if cfg.ProfileJSON != "" {
+			out.prof.ArmPostmortem(e.check, cfg.ProfileJSON+".postmortem")
+		}
 	}
 	window := e.cfg.window(20 * time.Millisecond)
 	out.res = e.measure(workload.Config{
@@ -60,6 +64,7 @@ func breakdownRun(cfg Config, traced bool) breakdownOutcome {
 		Clients: 16, Duration: window, Warmup: window / 4,
 		Spans: out.spans,
 	})
+	e.tb.Sim.Shutdown()
 	return out
 }
 
@@ -88,6 +93,13 @@ func runBreakdown(cfg Config) *Report {
 			rep.Note("trace export failed: %v", err)
 		} else {
 			rep.Note("trace timeline written to %s", cfg.TraceJSON)
+		}
+	}
+	if cfg.ProfileJSON != "" {
+		if err := out.prof.WriteFile(cfg.ProfileJSON); err != nil {
+			rep.Note("profile export failed: %v", err)
+		} else {
+			rep.Note("attribution profile written to %s", cfg.ProfileJSON)
 		}
 	}
 	return rep

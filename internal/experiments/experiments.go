@@ -23,7 +23,9 @@ import (
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
+	"lynx/internal/profile"
 	"lynx/internal/snic"
+	"lynx/internal/trace"
 	"lynx/internal/workload"
 )
 
@@ -51,6 +53,15 @@ type Config struct {
 	// at shutdown and merges the report here. Checked runs stay
 	// bit-identical to unchecked ones.
 	Invariants *check.Aggregate
+	// ProfileJSON, when non-empty, makes profiling experiments (breakdown,
+	// attribution) write the tail-latency attribution report to this path;
+	// with Invariants also armed, an invariant violation dumps a postmortem
+	// flight-recorder report to ProfileJSON + ".postmortem".
+	ProfileJSON string
+	// Top, when non-nil, arms span tracing plus a flight recorder on every
+	// testbed the experiment builds and collects each testbed's slowest
+	// completed requests here (cmd/lynxbench -top).
+	Top *TopCollector
 }
 
 func (c Config) window(d time.Duration) time.Duration {
@@ -255,6 +266,10 @@ type env struct {
 	gpu     *accel.GPU
 	clients []*netstack.Host
 	check   *check.Checker
+	// spans/rec are the env's profiling plane, armed lazily by armSpans
+	// (always when cfg.Top is set, otherwise by profiling experiments).
+	spans *trace.SpanTable
+	rec   *profile.Recorder
 }
 
 func newEnv(cfg Config) *env {
@@ -276,11 +291,38 @@ func newEnvWith(cfg Config, p *model.Params) *env {
 	server := tb.NewMachine("server1", 6)
 	bf := server.AttachBlueField("bf1")
 	gpu := server.AddGPU("gpu0", accel.K40m, false, "server1")
-	return &env{
+	e := &env{
 		cfg: cfg, params: *p, tb: tb, server: server, bf: bf, gpu: gpu,
 		clients: []*netstack.Host{tb.AddClient("client1"), tb.AddClient("client2")},
 		check:   ck,
 	}
+	if cfg.Top != nil {
+		e.armSpans(1 << 14)
+	}
+	return e
+}
+
+// armSpans arms the env's profiling plane once: a span table with its
+// invariants registered, and a flight recorder attached to it. When the
+// config carries a TopCollector, the testbed's shutdown folds this env's
+// slowest spans into it (every experiment shuts its testbeds down).
+func (e *env) armSpans(capacity int) *trace.SpanTable {
+	if e.spans != nil {
+		return e.spans
+	}
+	e.spans = trace.NewSpanTable(capacity)
+	e.spans.RegisterInvariants(e.check)
+	k := 16
+	if e.cfg.Top != nil && e.cfg.Top.K() > k {
+		k = e.cfg.Top.K()
+	}
+	e.rec = profile.NewRecorder(k, 64)
+	e.rec.Attach(e.spans)
+	if top := e.cfg.Top; top != nil {
+		rec := e.rec
+		e.tb.Sim.OnShutdown(func() { top.Add(rec.Top()) })
+	}
+	return e.spans
 }
 
 // platform names used across experiments.
@@ -291,18 +333,25 @@ const (
 	platLynxBF      = "Lynx BlueField"
 )
 
-// lynxPlatform builds the requested Lynx platform in this env.
+// lynxPlatform builds the requested Lynx platform in this env. An armed
+// profiling plane (armSpans) is threaded into the platform so server-side
+// stamps land in the env's span table.
 func (e *env) lynxPlatform(name string) core.Platform {
+	var p core.Platform
 	switch name {
 	case platLynx1Xeon:
-		return e.server.HostPlatform(1, true)
+		p = e.server.HostPlatform(1, true)
 	case platLynx6Xeon:
-		return e.server.HostPlatform(6, true)
+		p = e.server.HostPlatform(6, true)
 	case platLynxBF:
-		return e.bf.Platform(7)
+		p = e.bf.Platform(7)
 	default:
 		panic("experiments: not a Lynx platform: " + name)
 	}
+	if p.Spans == nil {
+		p.Spans = e.spans
+	}
+	return p
 }
 
 // echoDeployment stands up a Lynx GPU echo/delay service: nQueues server
@@ -345,6 +394,9 @@ func (e *env) echoDeployment(plat core.Platform, nQueues int, compute time.Durat
 func (e *env) measure(wcfg workload.Config) workload.Result {
 	if wcfg.Check == nil {
 		wcfg.Check = e.check
+	}
+	if wcfg.Spans == nil {
+		wcfg.Spans = e.spans
 	}
 	g := workload.New(e.tb.Sim, wcfg, e.clients...)
 	return workload.RunFor(e.tb.Sim, g)

@@ -53,6 +53,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		innovaRate, bfRate, hcRate           float64
 		isoQuiet, isoNoisy                   workload.Result
 		barOff, barOn                        time.Duration
+		dispatcherRank                       float64
 	)
 	tasks := []func(){
 		func() { _, invOverhead = invocationOverhead(cfg) },
@@ -79,6 +80,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		func() { isoNoisy = isolationRun(cfg, true, true) },
 		func() { barOff, _ = barrierRun(cfg, false) },
 		func() { barOn, _ = barrierRun(cfg, true) },
+		func() { dispatcherRank = attributionDispatcherRank(cfg) },
 	}
 	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
 
@@ -107,6 +109,8 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		"isolation.bf_inflation": speedup(float64(isoNoisy.Hist.P99()), float64(isoQuiet.Hist.P99())),
 		"vma.bf_ratio":           vmaStackRatio(&pm, model.ARMCore),
 		"barrier.extra_us":       float64(barOn-barOff) / float64(time.Microsecond),
+
+		"attribution.dispatcher_rank": dispatcherRank,
 	}
 }
 

@@ -1,0 +1,121 @@
+// The -top collector: cmd/lynxbench -top N arms span tracing on every
+// testbed an experiment builds and renders the N slowest completed requests
+// across all of them, with each request's per-phase wait/service split.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lynx/internal/profile"
+	"lynx/internal/trace"
+)
+
+// TopCollector accumulates flight-recorder entries from every testbed an
+// experiment run builds (sweep points may run on parallel workers, so Add is
+// mutex-guarded). The rendered table is deterministic regardless of worker
+// count: entries are totally ordered by (latency desc, span ID asc, rendered
+// row asc), so collection order cannot leak into the output.
+type TopCollector struct {
+	mu      sync.Mutex
+	k       int
+	entries []profile.Entry
+}
+
+// NewTopCollector creates a collector keeping the n slowest requests.
+func NewTopCollector(n int) *TopCollector {
+	if n <= 0 {
+		n = 10
+	}
+	return &TopCollector{k: n}
+}
+
+// K reports the requested table size.
+func (t *TopCollector) K() int {
+	if t == nil {
+		return 0
+	}
+	return t.k
+}
+
+// Add merges one testbed's slowest entries. Nil-safe.
+func (t *TopCollector) Add(entries []profile.Entry) {
+	if t == nil || len(entries) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.entries = append(t.entries, entries...)
+	t.mu.Unlock()
+}
+
+// topRow pairs an entry with its rendered cells so sorting can fall back to
+// the rendered form as the final deterministic tiebreak.
+type topRow struct {
+	e     profile.Entry
+	cells []string
+}
+
+// Table renders the slowest collected requests as a report: one row per
+// request with its end-to-end latency, status, and per-phase wait/service
+// split. Empty (with a note) when nothing completed.
+func (t *TopCollector) Table() *Report {
+	rep := &Report{
+		ID:      "top",
+		Title:   "slowest requests (wait/service per phase)",
+		Columns: []string{"latency", "status", "queue"},
+	}
+	for p := trace.PhaseNetwork; p < trace.NumPhases; p++ {
+		rep.Columns = append(rep.Columns, p.String()+" w/s")
+	}
+	if t == nil {
+		return rep
+	}
+	t.mu.Lock()
+	entries := append([]profile.Entry(nil), t.entries...)
+	t.mu.Unlock()
+	rows := make([]topRow, 0, len(entries))
+	for _, e := range entries {
+		cells := []string{
+			e.Latency.Round(100 * time.Nanosecond).String(),
+			e.Span.Status.String(),
+			fmt.Sprint(e.Span.Queue),
+		}
+		ph, ok := e.Span.Phases()
+		for p := trace.PhaseNetwork; p < trace.NumPhases; p++ {
+			if !ok {
+				cells = append(cells, "-")
+				continue
+			}
+			w := e.Span.WaitIn(p)
+			cells = append(cells, fmtWS(w, ph[p]-w))
+		}
+		rows = append(rows, topRow{e: e, cells: cells})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.e.Latency != b.e.Latency {
+			return a.e.Latency > b.e.Latency
+		}
+		if a.e.Span.ID != b.e.Span.ID {
+			return a.e.Span.ID < b.e.Span.ID
+		}
+		return strings.Join(a.cells, "|") < strings.Join(b.cells, "|")
+	})
+	if len(rows) > t.k {
+		rows = rows[:t.k]
+	}
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, Row{Name: fmt.Sprintf("span %d", r.e.Span.ID), Cells: r.cells})
+	}
+	if len(rows) == 0 {
+		rep.Note("no completed spans recorded (experiment may not trace requests end to end)")
+	}
+	return rep
+}
+
+func fmtWS(wait, service time.Duration) string {
+	return wait.Round(100*time.Nanosecond).String() + "/" + service.Round(100*time.Nanosecond).String()
+}

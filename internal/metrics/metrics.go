@@ -107,16 +107,19 @@ func (h *Histogram) Min() time.Duration {
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
 // Quantile returns the value at quantile q in [0,1], e.g. 0.99 for p99.
-// The answer carries the histogram's bucket resolution (~3% relative error).
+// The answer carries the histogram's bucket resolution (~3% relative error),
+// except at the extremes: q<=0 is exactly Min and q>=1 exactly Max, so the
+// bucket upper-edge representative can never push an extreme quantile past
+// the recorded range.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if q <= 0 {
+		return time.Duration(h.min)
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return time.Duration(h.max)
 	}
 	rank := uint64(math.Ceil(q * float64(h.total)))
 	if rank == 0 {
@@ -147,6 +150,9 @@ func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
 
 // P90 is Quantile(0.90).
 func (h *Histogram) P90() time.Duration { return h.Quantile(0.90) }
+
+// P999 is Quantile(0.999), the far-tail quantile the attribution reports use.
+func (h *Histogram) P999() time.Duration { return h.Quantile(0.999) }
 
 // Merge adds all observations from o into h.
 func (h *Histogram) Merge(o *Histogram) {

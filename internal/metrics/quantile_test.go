@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileEmpty: every quantile of an empty histogram is zero, including
+// the out-of-range arguments and the percentile shorthands.
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.999, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.P999() != 0 {
+		t.Errorf("empty P999 = %v, want 0", h.P999())
+	}
+}
+
+// TestQuantileSingleValue: with every sample in one bucket, all quantiles
+// collapse to that sample (the bucket cannot smear the estimate past the
+// recorded min/max).
+func TestQuantileSingleValue(t *testing.T) {
+	h := NewHistogram()
+	v := 42 * time.Microsecond
+	for i := 0; i < 10; i++ {
+		h.Record(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, v)
+		}
+	}
+}
+
+// TestQuantileExtremes: q<=0 reports the exact minimum and q>=1 the exact
+// maximum, even though both land inside wider buckets.
+func TestQuantileExtremes(t *testing.T) {
+	h := NewHistogram()
+	lo, hi := 3*time.Microsecond, 977*time.Microsecond
+	h.Record(lo)
+	h.Record(hi)
+	for i := 0; i < 100; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	for _, q := range []float64{-0.5, 0} {
+		if got := h.Quantile(q); got != lo {
+			t.Errorf("Quantile(%v) = %v, want min %v", q, got, lo)
+		}
+	}
+	for _, q := range []float64{1, 1.5} {
+		if got := h.Quantile(q); got != hi {
+			t.Errorf("Quantile(%v) = %v, want max %v", q, got, hi)
+		}
+	}
+}
+
+// TestQuantileMonotone: quantile estimates never decrease in q and never
+// escape the [Min, Max] envelope.
+func TestQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %v < previous %v", q, got, prev)
+		}
+		if got < h.Min() || got > h.Max() {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, got, h.Min(), h.Max())
+		}
+		prev = got
+	}
+}
+
+// TestP999 pins the tail shorthand: it sits between p99 and the maximum and
+// lands near the exact 99.9th percentile of a uniform sample.
+func TestP999(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p999 := h.P999()
+	if p999 < h.P99() || p999 > h.Max() {
+		t.Fatalf("p999 %v outside [p99 %v, max %v]", p999, h.P99(), h.Max())
+	}
+	want := 9990 * time.Microsecond
+	if absDiff(p999, want) > want/20 {
+		t.Errorf("p999 = %v, want ~%v", p999, want)
+	}
+}

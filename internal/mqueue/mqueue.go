@@ -97,6 +97,10 @@ type Config struct {
 	// violations observed on the SNIC side of the queue. Nil costs one
 	// pointer test per operation.
 	Check *check.Checker
+	// Spans, when non-nil, receives SNIC-side queue-wait attribution: PopTx
+	// books the TX-ring residency (drain start minus StageAccelSent) against
+	// the span's queueing phase. Nil costs one pointer test per drain.
+	Spans *trace.SpanTable
 }
 
 func (c *Config) validate() error {
@@ -209,6 +213,13 @@ func (q *Queue) Push(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
 			q.rxHead, q.rxConsumed, q.cfg.Slots)
 	}
 	off := q.lay.rxSlot(q.cfg, slot)
+	// The span's StagePushed is stamped when the message-bearing write is
+	// DELIVERED into the RX ring, not when its completion returns to the
+	// pushing context: the accelerator can consume the message as soon as
+	// the doorbell lands, which under load beats the completion's way back —
+	// stamping on return would let AccelRecv precede Pushed and break stage
+	// monotonicity.
+	stamp := q.stampPushed(payload)
 	switch {
 	case q.cfg.Barrier:
 		// Three transactions: payload+metadata (excluding the doorbell
@@ -217,23 +228,38 @@ func (q *Queue) Push(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
 		buf := buildSlot(payload, errStatus, 0, 0)
 		q.qp.Write(p, q.region, off+offError, buf[offError:])
 		q.qp.Barrier(p, q.region)
-		q.qp.Write(p, q.region, off+offDoorbell, []byte{1})
+		q.qp.WriteNotify(p, q.region, off+offDoorbell, []byte{1}, stamp)
 	case q.cfg.NoCoalesce:
 		// Two transactions: payload+metadata, then doorbell. Without a
 		// barrier these may become visible out of order on relaxed
 		// memory — the §5.1 hazard.
 		buf := buildSlot(payload, errStatus, 0, 0)
 		q.qp.Write(p, q.region, off+offError, buf[offError:])
-		q.qp.Write(p, q.region, off+offDoorbell, []byte{1})
+		q.qp.WriteNotify(p, q.region, off+offDoorbell, []byte{1}, stamp)
 	default:
 		// One coalesced transaction; NIC DMA commits lower addresses
 		// first, so a single write carrying data and notification is
 		// safe on strongly ordered regions (§5.1).
 		buf := buildSlot(payload, errStatus, 0, 1)
-		q.qp.Write(p, q.region, off, buf)
+		q.qp.WriteNotify(p, q.region, off, buf, stamp)
 	}
 	q.pushed++
 	return slot, nil
+}
+
+// stampPushed returns the OnDeliver hook stamping StagePushed for payload's
+// span at the write's delivery instant; nil when the queue has no span table
+// (keeps the uninstrumented push path allocation-free).
+func (q *Queue) stampPushed(payload []byte) func(at sim.Time) {
+	sp := q.cfg.Spans
+	if sp == nil {
+		return nil
+	}
+	id := trace.SpanID(payload)
+	if id == 0 {
+		return nil
+	}
+	return func(at sim.Time) { sp.Stamp(id, trace.StagePushed, at) }
 }
 
 // PushAsync delivers one message like Push but does not wait for the RDMA
@@ -260,7 +286,7 @@ func (q *Queue) PushAsync(p *sim.Proc, payload []byte, errStatus byte) (int, err
 	}
 	off := q.lay.rxSlot(q.cfg, slot)
 	q.qp.Post(p, rdma.WR{Op: rdma.OpWrite, Region: q.region, Offset: off,
-		Data: buildSlot(payload, errStatus, 0, 1)})
+		Data: buildSlot(payload, errStatus, 0, 1), OnDeliver: q.stampPushed(payload)})
 	q.pushed++
 	return slot, nil
 }
@@ -312,6 +338,7 @@ func (q *Queue) PopTx(p *sim.Proc) (TxMsg, bool) {
 	if !q.Ready() {
 		return TxMsg{}, false
 	}
+	drainStart := p.Now()
 	slot := int(q.txTail % uint64(q.cfg.Slots))
 	off := q.lay.txSlot(q.cfg, slot)
 	raw := q.qp.Read(p, q.region, off, q.cfg.SlotSize)
@@ -333,6 +360,14 @@ func (q *Queue) PopTx(p *sim.Proc) (TxMsg, bool) {
 	q.txTail++
 	q.txDirty = true
 	q.polled++
+	if sp := q.cfg.Spans; sp != nil {
+		// TX-drain wait: the response sat in the ring from its publication
+		// (StageAccelSent) until this sweep reached it.
+		id := trace.SpanID(payload)
+		if sentAt, ok := sp.StampAt(id, trace.StageAccelSent); ok {
+			sp.AddWait(id, trace.PhaseQueueing, drainStart.Sub(sentAt))
+		}
+	}
 	return TxMsg{Payload: payload, Err: raw[offError], Corr: corr, Slot: slot}, true
 }
 
@@ -580,6 +615,7 @@ func (aq *AccelQueue) TryRecv(p *sim.Proc) (Msg, bool) {
 	if aq.region.Byte(off+offDoorbell) == 0 {
 		return Msg{}, false
 	}
+	seen := p.Now() // doorbell observed set: RX-ring residency ends here
 	p.Sleep(aq.prof.LocalAccess)
 	hdr := aq.region.ReadLocal(off, HeaderBytes)
 	size := int(hdr[offSize]) | int(hdr[offSize+1])<<8
@@ -599,7 +635,15 @@ func (aq *AccelQueue) TryRecv(p *sim.Proc) (Msg, bool) {
 	if hdr[offError] != 0 {
 		aq.errs++
 	}
-	aq.prof.Spans.Stamp(trace.SpanID(payload), trace.StageAccelRecv, p.Now())
+	if sp := aq.prof.Spans; sp != nil {
+		id := trace.SpanID(payload)
+		// RX-ring wait: from the SNIC's push (StagePushed) until this
+		// context observed the doorbell; the remaining accesses are service.
+		if pushedAt, ok := sp.StampAt(id, trace.StagePushed); ok {
+			sp.AddWait(id, trace.PhaseQueueing, seen.Sub(pushedAt))
+		}
+		sp.Stamp(id, trace.StageAccelRecv, p.Now())
+	}
 	return Msg{Payload: payload, Err: hdr[offError], Slot: slot}, true
 }
 
@@ -665,6 +709,7 @@ func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatu
 	// Wait for the SNIC to have freed this slot (polling the SNIC-written
 	// consumed counter; blocked on its write gate in the simulator).
 	var consumed uint64
+	freeWaitStart := p.Now()
 	for {
 		v := aq.txFreeGate.Version()
 		p.Sleep(aq.prof.LocalAccess)
@@ -674,6 +719,13 @@ func (aq *AccelQueue) SendErr(p *sim.Proc, corr uint16, payload []byte, errStatu
 		}
 		aq.txFreeGate.Wait(p, v)
 		p.Sleep(aq.prof.PollInterval / 2)
+	}
+	if sp := aq.prof.Spans; sp != nil {
+		// TX-ring backpressure: time blocked for a free slot beyond the one
+		// mandatory counter read is queue wait within the execution phase.
+		if blocked := p.Now().Sub(freeWaitStart) - aq.prof.LocalAccess; blocked > 0 {
+			sp.AddWait(trace.SpanID(payload), trace.PhaseExec, blocked)
+		}
 	}
 	slot := int(aq.txHead % uint64(aq.cfg.Slots))
 	if ck := aq.prof.Check; ck.Enabled() && aq.txHead+1-consumed > uint64(aq.cfg.Slots) {

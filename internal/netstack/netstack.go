@@ -35,6 +35,11 @@ type Datagram struct {
 	From    Addr
 	To      Addr
 	Payload []byte
+	// EnqueuedAt is the virtual time the datagram entered the destination
+	// socket's receive queue (zero on locally-constructed datagrams). The
+	// consumer's receive time minus this is the rx-ring residency, the
+	// network-phase queue wait of the attribution profile.
+	EnqueuedAt sim.Time
 }
 
 const (
@@ -117,6 +122,7 @@ func (n *Network) RegisterInvariants(ck *check.Checker) {
 type link struct {
 	bandwidth float64
 	freeAt    sim.Time
+	busy      time.Duration
 }
 
 // reserve books the serialization of size bytes, returning the completion
@@ -126,7 +132,9 @@ func (l *link) reserve(now sim.Time, size int) sim.Time {
 	if l.freeAt > start {
 		start = l.freeAt
 	}
-	l.freeAt = start.Add(model.TransferTime(size, l.bandwidth))
+	ser := model.TransferTime(size, l.bandwidth)
+	l.busy += ser
+	l.freeAt = start.Add(ser)
 	return l.freeAt
 }
 
@@ -174,6 +182,11 @@ func (h *Host) Addr(port uint16) Addr { return Addr{Host: h.name, Port: port} }
 
 // Dropped reports datagrams discarded at full receive queues.
 func (h *Host) Dropped() uint64 { return h.dropped }
+
+// WireBusy reports the accumulated serialization time booked on this host's
+// uplink and downlink. Deltas over a sampling interval divided by twice the
+// interval give the NIC-wire utilization the monitor publishes.
+func (h *Host) WireBusy() time.Duration { return h.up.busy + h.down.busy }
 
 // RTT returns the uncontended round-trip wire time for a payload of the
 // given size between two hosts (used to calibrate handshakes and tests).
@@ -271,6 +284,8 @@ func (s *UDPSocket) SendTo(to Addr, payload []byte) {
 			}
 			return // port unreachable
 		}
+		dg := dg // per-delivery copy: duplicates stamp their own arrival
+		dg.EnqueuedAt = n.sim.Now()
 		if !sock.rxq.TryPut(dg) {
 			dst.dropped++
 			if checked {
@@ -330,10 +345,17 @@ type TCPConn struct {
 	remote     Addr
 	localHost  *Host
 	remoteHost *Host
-	rxq        *sim.Chan[[]byte]
+	rxq        *sim.Chan[tcpMsg]
 	peer       *TCPConn
 	closed     bool
 	reset      bool
+}
+
+// tcpMsg is one framed message with its receive-queue entry time, so TCP
+// receivers can attribute queue residency like UDP's Datagram.EnqueuedAt.
+type tcpMsg struct {
+	b   []byte
+	enq sim.Time
 }
 
 // ErrConnClosed is returned by Recv after the peer closes.
@@ -383,9 +405,9 @@ func (h *Host) TCPDial(p *sim.Proc, to Addr) (*TCPConn, error) {
 	local := Addr{Host: h.name, Port: h.net.ephemeral}
 
 	client := &TCPConn{net: h.net, local: local, remote: to, localHost: h, remoteHost: dst,
-		rxq: sim.NewChan[[]byte](h.net.sim, 0)}
+		rxq: sim.NewChan[tcpMsg](h.net.sim, 0)}
 	server := &TCPConn{net: h.net, local: to, remote: local, localHost: dst, remoteHost: h,
-		rxq: sim.NewChan[[]byte](h.net.sim, 0)}
+		rxq: sim.NewChan[tcpMsg](h.net.sim, 0)}
 	client.peer, server.peer = server, client
 
 	established := sim.NewChan[struct{}](h.net.sim, 0)
@@ -426,7 +448,8 @@ func (c *TCPConn) Send(p *sim.Proc, msg []byte) error {
 		if peer.closed || peer.reset {
 			return
 		}
-		peer.rxq.TryPut(buf) // unbounded: flow control not modelled
+		// unbounded: flow control not modelled
+		peer.rxq.TryPut(tcpMsg{b: buf, enq: c.net.sim.Now()})
 		// Delayed ACK traffic back (fire and forget).
 		c.net.transmit(c.remoteHost, c.localHost, 0, tcpOverhead, func() {})
 	})
@@ -435,39 +458,53 @@ func (c *TCPConn) Send(p *sim.Proc, msg []byte) error {
 
 // Recv blocks for the next message from the peer.
 func (c *TCPConn) Recv(p *sim.Proc) ([]byte, error) {
+	msg, _, err := c.RecvQueued(p)
+	return msg, err
+}
+
+// RecvQueued is Recv returning also the virtual time the message entered the
+// receive queue, for queue-wait attribution.
+func (c *TCPConn) RecvQueued(p *sim.Proc) ([]byte, sim.Time, error) {
 	for {
 		if msg, ok := c.rxq.TryGet(); ok {
-			return msg, nil
+			return msg.b, msg.enq, nil
 		}
 		if c.reset {
-			return nil, ErrConnReset
+			return nil, 0, ErrConnReset
 		}
 		if c.closed {
-			return nil, ErrConnClosed
+			return nil, 0, ErrConnClosed
 		}
 		msg, ok := c.rxq.GetTimeout(p, 100*time.Microsecond)
 		if ok {
-			return msg, nil
+			return msg.b, msg.enq, nil
 		}
 	}
 }
 
 // RecvTimeout blocks up to d for the next message.
 func (c *TCPConn) RecvTimeout(p *sim.Proc, d time.Duration) ([]byte, bool, error) {
+	msg, _, ok, err := c.RecvQueuedTimeout(p, d)
+	return msg, ok, err
+}
+
+// RecvQueuedTimeout is RecvTimeout returning also the receive-queue entry
+// time of the message.
+func (c *TCPConn) RecvQueuedTimeout(p *sim.Proc, d time.Duration) ([]byte, sim.Time, bool, error) {
 	if msg, ok := c.rxq.TryGet(); ok {
-		return msg, true, nil
+		return msg.b, msg.enq, true, nil
 	}
 	if c.reset {
-		return nil, false, ErrConnReset
+		return nil, 0, false, ErrConnReset
 	}
 	if c.closed {
-		return nil, false, ErrConnClosed
+		return nil, 0, false, ErrConnClosed
 	}
 	msg, ok := c.rxq.GetTimeout(p, d)
 	if !ok {
-		return nil, false, nil
+		return nil, 0, false, nil
 	}
-	return msg, true, nil
+	return msg.b, msg.enq, true, nil
 }
 
 // Close shuts the connection down gracefully on both ends (FIN exchange is

@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"os"
+	"sync"
+
+	"lynx/internal/check"
+	"lynx/internal/metrics"
+	"lynx/internal/trace"
+)
+
+// Options sizes a Profile. Zero values pick defaults.
+type Options struct {
+	// SpanCapacity bounds the span table ring (default 1<<14).
+	SpanCapacity int
+	// TopK bounds the flight recorder's slowest-span heap (default 16).
+	TopK int
+	// RingCap bounds the flight recorder's recency ring (default 64).
+	RingCap int
+}
+
+// Profile bundles the three attribution inputs — span table, flight
+// recorder, metrics registry — for one simulated cluster, so callers arm
+// profiling with one object and pull one report out.
+type Profile struct {
+	spans *trace.SpanTable
+	rec   *Recorder
+	reg   *metrics.Registry
+
+	mu      sync.Mutex
+	trigger string
+}
+
+// New creates a profile with a fresh span table, recorder and registry, with
+// the recorder already attached to the table.
+func New(opts Options) *Profile {
+	cap := opts.SpanCapacity
+	if cap <= 0 {
+		cap = 1 << 14
+	}
+	return Assemble(trace.NewSpanTable(cap), NewRecorder(opts.TopK, opts.RingCap), metrics.NewRegistry())
+}
+
+// Assemble bundles existing pieces (any may be nil) and attaches the
+// recorder to the span table.
+func Assemble(spans *trace.SpanTable, rec *Recorder, reg *metrics.Registry) *Profile {
+	rec.Attach(spans)
+	return &Profile{spans: spans, rec: rec, reg: reg}
+}
+
+// Spans returns the span table (give this to the platform/workload configs).
+func (p *Profile) Spans() *trace.SpanTable {
+	if p == nil {
+		return nil
+	}
+	return p.spans
+}
+
+// Recorder returns the flight recorder.
+func (p *Profile) Recorder() *Recorder {
+	if p == nil {
+		return nil
+	}
+	return p.rec
+}
+
+// Registry returns the metrics registry (give this to StartMonitor).
+func (p *Profile) Registry() *metrics.Registry {
+	if p == nil {
+		return nil
+	}
+	return p.reg
+}
+
+// Report builds the attribution report from the profile's current state.
+// Nil-safe: a nil profile reports empty.
+func (p *Profile) Report() *Report {
+	if p == nil {
+		return &Report{}
+	}
+	r := Build(p.spans, p.rec, p.reg)
+	p.mu.Lock()
+	r.Trigger = p.trigger
+	p.mu.Unlock()
+	return r
+}
+
+// WriteFile dumps the current report as JSON to path. Nil-safe: a nil
+// profile writes nothing and reports success.
+func (p *Profile) WriteFile(path string) error {
+	if p == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.Report().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ArmPostmortem hooks the checker so the first invariant violation dumps a
+// flight-recorder report to path, with Trigger set to the violation. The dump
+// happens at violation time, so the report captures the state that tripped
+// the invariant rather than whatever the run drained down to. Nil-safe.
+func (p *Profile) ArmPostmortem(ck *check.Checker, path string) {
+	if p == nil || !ck.Enabled() || path == "" {
+		return
+	}
+	ck.SetOnViolation(func(v check.Violation) {
+		p.mu.Lock()
+		p.trigger = v.String()
+		p.mu.Unlock()
+		// Best-effort: a postmortem dump failing must not take down the run.
+		_ = p.WriteFile(path)
+	})
+}

@@ -62,6 +62,13 @@ type WR struct {
 	Len    int    // OpRead length
 	ID     uint64 // user cookie echoed in the completion
 
+	// OnDeliver, when set on an OpWrite, is invoked at the simulated instant
+	// the data lands in the target region — before the completion travels
+	// back to the poster. Span instrumentation stamps queue-entry times here
+	// so a consumer polling the written memory can never observe the message
+	// before its stamp. Never called for dropped UC writes.
+	OnDeliver func(at sim.Time)
+
 	// reply, when set by the blocking helpers, receives this WR's CQE
 	// directly so concurrent posters never steal each other's completions.
 	reply *sim.Chan[CQE]
@@ -220,6 +227,9 @@ func (qp *QP) run(p *sim.Proc) {
 			transit := qp.remote + e.fab.TransferTime(e.nic, qp.target, len(wr.Data)) + perturb
 			e.sim.After(transit, func() {
 				fl.wr.Region.WriteDMA(fl.wr.Offset, fl.wr.Data)
+				if fl.wr.OnDeliver != nil {
+					fl.wr.OnDeliver(e.sim.Now())
+				}
 				qp.finish(fl)
 			})
 		case OpRead:
@@ -286,8 +296,15 @@ func (qp *QP) CQ() *sim.Chan[CQE] { return qp.cq }
 
 // Write performs a blocking one-sided RDMA WRITE.
 func (qp *QP) Write(p *sim.Proc, region *memdev.Region, off int, data []byte) CQE {
+	return qp.WriteNotify(p, region, off, data, nil)
+}
+
+// WriteNotify performs a blocking one-sided RDMA WRITE like Write,
+// additionally invoking onDeliver (when non-nil) at the simulated instant
+// the data lands in the target region, before the completion returns.
+func (qp *QP) WriteNotify(p *sim.Proc, region *memdev.Region, off int, data []byte, onDeliver func(at sim.Time)) CQE {
 	reply := sim.NewChan[CQE](qp.engine.sim, 1)
-	qp.Post(p, WR{Op: OpWrite, Region: region, Offset: off, Data: data, reply: reply})
+	qp.Post(p, WR{Op: OpWrite, Region: region, Offset: off, Data: data, OnDeliver: onDeliver, reply: reply})
 	return reply.Get(p)
 }
 

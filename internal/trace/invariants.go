@@ -44,6 +44,45 @@ func (t *SpanTable) RegisterInvariants(ck *check.Checker) {
 			fail("%d spans with non-monotone stages in total", bad)
 		}
 	})
+	ck.AddFinisher("trace.wait-service-split", func(fail func(string, ...any)) {
+		// Aggregate identity: for every phase the wait and service
+		// histograms cover the same spans as the phase histogram, and their
+		// accumulated times telescope exactly (service is defined as phase
+		// minus clamped wait, so any drift means a bookkeeping bug).
+		for p := PhaseNetwork; p < NumPhases; p++ {
+			ph, w, sv := t.PhaseHist(p), t.PhaseWaitHist(p), t.PhaseServiceHist(p)
+			if w.Count() != ph.Count() || sv.Count() != ph.Count() {
+				fail("phase %s: wait/service counts %d/%d != phase count %d",
+					p, w.Count(), sv.Count(), ph.Count())
+			}
+			if got, want := int64(w.Sum())+int64(sv.Sum()), int64(ph.Sum()); got != want {
+				fail("phase %s: wait+service sum %d != phase sum %d", p, got, want)
+			}
+		}
+		// Per-span: clamped waits never exceed their phase.
+		bad := 0
+		for _, s := range t.Spans() {
+			if s.Status != SpanDone {
+				continue
+			}
+			ph, ok := s.Phases()
+			if !ok {
+				continue
+			}
+			for p := PhaseNetwork; p < NumPhases; p++ {
+				w := s.WaitIn(p)
+				if w < 0 || w > ph[p] {
+					if bad < 4 {
+						fail("span %d: %s wait %v outside [0, %v]", s.ID, p, w, ph[p])
+					}
+					bad++
+				}
+			}
+		}
+		if bad > 4 {
+			fail("%d spans with out-of-range waits in total", bad)
+		}
+	})
 	ck.AddFinisher("trace.phase-telescope", func(fail func(string, ...any)) {
 		e2e := t.EndToEnd()
 		var sum int64

@@ -28,7 +28,10 @@ const (
 	StageSnicRecv
 	// StageDispatch: the dispatcher picked a queue (pre-RDMA-push).
 	StageDispatch
-	// StagePushed: the RDMA write into the RX ring completed.
+	// StagePushed: the RDMA write carrying the message was delivered into
+	// the RX ring (the accelerator can observe the message no earlier than
+	// this, so the stage order stays monotone even when consumption beats
+	// the write completion's return to the SNIC).
 	StagePushed
 	// StageAccelRecv: the accelerator consumed it from the RX ring.
 	StageAccelRecv
@@ -167,6 +170,10 @@ type Span struct {
 	Queue int32
 	// stamps holds one virtual timestamp per stage, -1 when unset.
 	stamps [NumStages]sim.Time
+	// waits accumulates queue-residency time per phase (the "waiting" half of
+	// the wait/service decomposition). Clamped into [0, phase duration] when
+	// the span closes, so wait + service telescopes exactly to the phase.
+	waits [NumPhases]sim.Time
 }
 
 // At returns the timestamp of one stage and whether it was recorded.
@@ -185,6 +192,39 @@ func (s *Span) Latency(from, to Stage) (d sim.Time, ok bool) {
 		return 0, false
 	}
 	return b - a, true
+}
+
+// Phases returns the five-phase decomposition in path order and whether the
+// span is complete (every service stage recorded); the five values sum
+// exactly to the end-to-end latency.
+func (s *Span) Phases() ([NumPhases]time.Duration, bool) {
+	var out [NumPhases]time.Duration
+	if !s.complete() {
+		return out, false
+	}
+	for p, d := range s.phases() {
+		out[p] = time.Duration(d)
+	}
+	return out, true
+}
+
+// WaitIn returns the accumulated queue wait of one phase. On spans closed
+// SpanDone the value is clamped into [0, phase duration].
+func (s *Span) WaitIn(p Phase) time.Duration {
+	if p >= NumPhases {
+		return 0
+	}
+	return time.Duration(s.waits[p])
+}
+
+// ServiceIn returns the in-service share of one phase (duration minus wait);
+// zero for incomplete spans, where phases are undefined.
+func (s *Span) ServiceIn(p Phase) time.Duration {
+	ph, ok := s.Phases()
+	if !ok || p >= NumPhases {
+		return 0
+	}
+	return ph[p] - s.WaitIn(p)
 }
 
 // complete reports whether every stage of the service path was recorded.
@@ -214,7 +254,7 @@ func (s *Span) phases() [NumPhases]sim.Time {
 // SpanTable is a fixed-memory table of request spans, indexed by span ID
 // modulo capacity. A nil *SpanTable is valid and records nothing, so every
 // call site is a single nil check when tracing is disabled; when enabled, no
-// method on the record path (Begin/Stamp/SetQueue/Close) allocates.
+// method on the record path (Begin/Stamp/AddWait/SetQueue/Close) allocates.
 type SpanTable struct {
 	slots []Span
 
@@ -222,7 +262,14 @@ type SpanTable struct {
 	closed  uint64
 	evicted uint64
 	done    [NumPhases]*metrics.Histogram
+	wait    [NumPhases]*metrics.Histogram
+	service [NumPhases]*metrics.Histogram
 	e2e     *metrics.Histogram
+	// onDone, when set, observes every span closed SpanDone with all service
+	// stages recorded, after its waits were clamped and the histograms fed.
+	// The pointee is only valid for the duration of the call (the slot is a
+	// ring); observers must copy what they keep.
+	onDone func(*Span)
 }
 
 // NewSpanTable creates a table retaining up to capacity concurrent spans
@@ -237,6 +284,8 @@ func NewSpanTable(capacity int) *SpanTable {
 	}
 	for p := range t.done {
 		t.done[p] = metrics.NewHistogram()
+		t.wait[p] = metrics.NewHistogram()
+		t.service[p] = metrics.NewHistogram()
 	}
 	return t
 }
@@ -247,6 +296,9 @@ func (t *SpanTable) reset(s *Span, id uint64) {
 	s.Queue = -1
 	for i := range s.stamps {
 		s.stamps[i] = -1
+	}
+	for i := range s.waits {
+		s.waits[i] = 0
 	}
 }
 
@@ -288,6 +340,38 @@ func (t *SpanTable) Stamp(id uint64, st Stage, at sim.Time) {
 	s.stamps[st] = at
 }
 
+// AddWait accumulates queue-residency time into one phase of a live span:
+// the interval a request sat in a queue (socket rx ring, dispatcher run
+// queue, mqueue RX ring, TX drain backlog) before something started serving
+// it. Waits are additive — a phase with two queueing points (e.g. the two
+// halves of PhaseQueueing) accumulates both. Non-positive durations, unknown
+// IDs and closed spans are ignored, and like the rest of the record path the
+// method allocates nothing and is nil-safe.
+func (t *SpanTable) AddWait(id uint64, p Phase, d time.Duration) {
+	if t == nil || id == 0 || p >= NumPhases || d <= 0 {
+		return
+	}
+	s := t.slot(id)
+	if s.ID != id || s.Status != SpanOpen {
+		return
+	}
+	s.waits[p] += sim.Time(d)
+}
+
+// StampAt returns one stage timestamp of a live span without copying the
+// span, for instrumentation that derives a wait from an earlier stamp (e.g.
+// RX-ring residency = consume time minus StagePushed). Nil-safe, alloc-free.
+func (t *SpanTable) StampAt(id uint64, st Stage) (sim.Time, bool) {
+	if t == nil || id == 0 || st >= NumStages {
+		return 0, false
+	}
+	s := t.slot(id)
+	if s.ID != id || s.stamps[st] < 0 {
+		return 0, false
+	}
+	return s.stamps[st], true
+}
+
 // SetQueue records which server mqueue the dispatcher picked (first wins).
 func (t *SpanTable) SetQueue(id uint64, queue int) {
 	if t == nil || id == 0 {
@@ -324,9 +408,32 @@ func (t *SpanTable) Close(id uint64, status SpanStatus, at sim.Time) {
 		return
 	}
 	for p, d := range s.phases() {
+		w := s.waits[p]
+		if w < 0 {
+			w = 0
+		}
+		if w > d {
+			w = d
+		}
+		s.waits[p] = w // clamp in place so observers see the same split
 		t.done[p].RecordN(time.Duration(d), 1)
+		t.wait[p].RecordN(time.Duration(w), 1)
+		t.service[p].RecordN(time.Duration(d-w), 1)
 	}
 	t.e2e.RecordN(s.stamps[StageClientRecv].Sub(s.stamps[StageClientSend]), 1)
+	if t.onDone != nil {
+		t.onDone(s)
+	}
+}
+
+// SetOnDone installs an observer for spans that close SpanDone with every
+// service stage recorded (the same spans that feed the histograms). Used by
+// the flight recorder; last call wins, nil disarms.
+func (t *SpanTable) SetOnDone(fn func(*Span)) {
+	if t == nil {
+		return
+	}
+	t.onDone = fn
 }
 
 // Span returns a copy of the span for id, if the table still holds it.
@@ -368,6 +475,24 @@ func (t *SpanTable) PhaseHist(p Phase) *metrics.Histogram {
 		return nil
 	}
 	return t.done[p]
+}
+
+// PhaseWaitHist returns the queue-wait histogram of one phase, over the same
+// spans as PhaseHist. For each of them wait + service equals the phase value.
+func (t *SpanTable) PhaseWaitHist(p Phase) *metrics.Histogram {
+	if t == nil || p >= NumPhases {
+		return nil
+	}
+	return t.wait[p]
+}
+
+// PhaseServiceHist returns the in-service histogram of one phase (the phase
+// duration minus its accumulated queue wait).
+func (t *SpanTable) PhaseServiceHist(p Phase) *metrics.Histogram {
+	if t == nil || p >= NumPhases {
+		return nil
+	}
+	return t.service[p]
 }
 
 // EndToEnd returns the end-to-end latency histogram over the same spans that

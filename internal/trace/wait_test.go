@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"lynx/internal/sim"
+)
+
+// stampComplete records every service-path stage of span id with a fixed,
+// monotone trajectory (all times in ns):
+//
+//	send=0, snic-recv=100, dispatch=250, pushed=300, accel-recv=400,
+//	accel-sent=600, drain=650, forward=700, client-recv=800
+//
+// giving phases network=200, snic=200, transfer=50, queueing=150, exec=200.
+func stampComplete(tb *SpanTable, id uint64) {
+	tb.Begin(id, 0)
+	tb.Stamp(id, StageSnicRecv, 100)
+	tb.Stamp(id, StageDispatch, 250)
+	tb.Stamp(id, StagePushed, 300)
+	tb.Stamp(id, StageAccelRecv, 400)
+	tb.Stamp(id, StageAccelSent, 600)
+	tb.Stamp(id, StageDrain, 650)
+	tb.Stamp(id, StageForward, 700)
+}
+
+var wantPhases = [NumPhases]time.Duration{
+	PhaseNetwork:  200,
+	PhaseSNIC:     200,
+	PhaseTransfer: 50,
+	PhaseQueueing: 150,
+	PhaseExec:     200,
+}
+
+// TestWaitServiceIdentity: for every phase of a closed span,
+// wait + service == phase duration, and the phases sum to end-to-end.
+func TestWaitServiceIdentity(t *testing.T) {
+	tb := NewSpanTable(8)
+	stampComplete(tb, 1)
+	tb.AddWait(1, PhaseSNIC, 60)
+	tb.AddWait(1, PhaseQueueing, 40)
+	tb.AddWait(1, PhaseQueueing, 30) // additive: two queueing points
+	tb.Close(1, SpanDone, 800)
+
+	s, ok := tb.Span(1)
+	if !ok {
+		t.Fatal("span lost")
+	}
+	ph, ok := s.Phases()
+	if !ok {
+		t.Fatal("span incomplete")
+	}
+	var sum time.Duration
+	for p := PhaseNetwork; p < NumPhases; p++ {
+		if ph[p] != wantPhases[p] {
+			t.Errorf("phase %v = %v, want %v", p, ph[p], wantPhases[p])
+		}
+		if got := s.WaitIn(p) + s.ServiceIn(p); got != ph[p] {
+			t.Errorf("phase %v: wait %v + service %v = %v, want %v",
+				p, s.WaitIn(p), s.ServiceIn(p), got, ph[p])
+		}
+		sum += ph[p]
+	}
+	if sum != 800 {
+		t.Errorf("phases sum to %v, want 800ns end-to-end", sum)
+	}
+	if got := s.WaitIn(PhaseQueueing); got != 70 {
+		t.Errorf("queueing wait = %v, want 70ns (40+30)", got)
+	}
+	if got := s.ServiceIn(PhaseSNIC); got != 140 {
+		t.Errorf("snic service = %v, want 140ns", got)
+	}
+}
+
+// TestAddWaitClampedAtClose: a recorded wait can never exceed its phase (the
+// instrumentation may overlap queue intervals); Close clamps it so the
+// decomposition still telescopes, and the histograms see the clamped split.
+func TestAddWaitClampedAtClose(t *testing.T) {
+	tb := NewSpanTable(8)
+	stampComplete(tb, 1)
+	tb.AddWait(1, PhaseSNIC, time.Second) // wildly over the 200ns phase
+	tb.Close(1, SpanDone, 800)
+
+	s, _ := tb.Span(1)
+	if got := s.WaitIn(PhaseSNIC); got != wantPhases[PhaseSNIC] {
+		t.Errorf("clamped wait = %v, want %v", got, wantPhases[PhaseSNIC])
+	}
+	if got := s.ServiceIn(PhaseSNIC); got != 0 {
+		t.Errorf("service after clamp = %v, want 0", got)
+	}
+	if got := tb.PhaseWaitHist(PhaseSNIC).Max(); got != wantPhases[PhaseSNIC] {
+		t.Errorf("wait histogram saw %v, want clamped %v", got, wantPhases[PhaseSNIC])
+	}
+	if got := tb.PhaseServiceHist(PhaseSNIC).Max(); got != 0 {
+		t.Errorf("service histogram saw %v, want 0", got)
+	}
+}
+
+// TestAddWaitIgnores: non-positive durations, unknown IDs, closed spans and
+// nil tables are all safely ignored.
+func TestAddWaitIgnores(t *testing.T) {
+	var nilTable *SpanTable
+	nilTable.AddWait(1, PhaseSNIC, 10) // must not panic
+
+	tb := NewSpanTable(8)
+	stampComplete(tb, 1)
+	tb.AddWait(1, PhaseSNIC, 0)
+	tb.AddWait(1, PhaseSNIC, -5)
+	tb.AddWait(2, PhaseSNIC, 10)        // unknown id
+	tb.AddWait(1, Phase(NumPhases), 10) // out of range
+	tb.Close(1, SpanDone, 800)
+	tb.AddWait(1, PhaseSNIC, 10) // closed
+
+	s, _ := tb.Span(1)
+	if got := s.WaitIn(PhaseSNIC); got != 0 {
+		t.Errorf("wait = %v, want 0 (all adds ignored)", got)
+	}
+}
+
+// TestWaitHistogramsTelescopeInAggregate: across many spans, the per-phase
+// wait and service histograms carry the same population as the phase
+// histogram and their sums telescope exactly.
+func TestWaitHistogramsTelescopeInAggregate(t *testing.T) {
+	tb := NewSpanTable(64)
+	const n = 32
+	for i := uint64(1); i <= n; i++ {
+		stampComplete(tb, i)
+		tb.AddWait(i, PhaseQueueing, time.Duration(i))
+		tb.Close(i, SpanDone, 800)
+	}
+	for p := PhaseNetwork; p < NumPhases; p++ {
+		d, w, s := tb.PhaseHist(p), tb.PhaseWaitHist(p), tb.PhaseServiceHist(p)
+		if d.Count() != n || w.Count() != n || s.Count() != n {
+			t.Fatalf("phase %v counts %d/%d/%d, want %d each", p, d.Count(), w.Count(), s.Count(), n)
+		}
+		if w.Sum()+s.Sum() != d.Sum() {
+			t.Errorf("phase %v: wait %v + service %v != total %v", p, w.Sum(), s.Sum(), d.Sum())
+		}
+	}
+	if got := tb.PhaseWaitHist(PhaseQueueing).Sum(); got != time.Duration(n*(n+1)/2) {
+		t.Errorf("aggregate queueing wait = %v, want %v", got, time.Duration(n*(n+1)/2))
+	}
+}
+
+// TestSetOnDone: the observer fires exactly once per completed span, after
+// the waits were clamped, and only for SpanDone closes with a full
+// trajectory. Copies taken by the observer stay valid after the slot is
+// reused.
+func TestSetOnDone(t *testing.T) {
+	tb := NewSpanTable(4)
+	var seen []Span
+	tb.SetOnDone(func(s *Span) { seen = append(seen, *s) })
+
+	stampComplete(tb, 1)
+	tb.AddWait(1, PhaseSNIC, time.Second) // will be clamped before the hook
+	tb.Close(1, SpanDone, 800)
+	tb.Close(1, SpanDone, 900) // second close: no-op, no second callback
+
+	tb.Begin(2, 0) // incomplete: dropped before the accelerator
+	tb.Close(2, SpanDropped, 500)
+
+	tb.Begin(3, 0) // done but missing service stages: not observed
+	tb.Close(3, SpanDone, 500)
+
+	if len(seen) != 1 {
+		t.Fatalf("observer fired %d times, want 1", len(seen))
+	}
+	if seen[0].ID != 1 || seen[0].Status != SpanDone {
+		t.Fatalf("observed span %d status %v", seen[0].ID, seen[0].Status)
+	}
+	if got := seen[0].WaitIn(PhaseSNIC); got != wantPhases[PhaseSNIC] {
+		t.Errorf("observer saw unclamped wait %v, want %v", got, wantPhases[PhaseSNIC])
+	}
+
+	tb.SetOnDone(nil) // disarm
+	stampComplete(tb, 5)
+	tb.Close(5, SpanDone, 800)
+	if len(seen) != 1 {
+		t.Fatal("disarmed observer still fired")
+	}
+
+	var nilTable *SpanTable
+	nilTable.SetOnDone(func(*Span) {}) // nil-safe
+}
+
+// TestStampAt reads back a live stamp without copying the span.
+func TestStampAt(t *testing.T) {
+	tb := NewSpanTable(8)
+	tb.Begin(1, 10)
+	tb.Stamp(1, StagePushed, 300)
+	if at, ok := tb.StampAt(1, StagePushed); !ok || at != sim.Time(300) {
+		t.Fatalf("StampAt = %v, %v; want 300, true", at, ok)
+	}
+	if _, ok := tb.StampAt(1, StageDrain); ok {
+		t.Fatal("unset stage reported ok")
+	}
+	if _, ok := tb.StampAt(9, StagePushed); ok {
+		t.Fatal("unknown id reported ok")
+	}
+	var nilTable *SpanTable
+	if _, ok := nilTable.StampAt(1, StagePushed); ok {
+		t.Fatal("nil table reported ok")
+	}
+}

@@ -212,6 +212,18 @@ func (g *Generator) begin(seq uint64, at sim.Time) {
 	}
 }
 
+// noteRxWait attributes the response's client-side receive-queue residency
+// (enqueue at enq, consumed at now) to the span's network phase. No-op when
+// spans are off or the transport carried no enqueue stamp.
+func (g *Generator) noteRxWait(msg []byte, enq, now sim.Time) {
+	if g.cfg.Spans == nil || enq <= 0 {
+		return
+	}
+	if seq, ok := Seq(msg); ok {
+		g.cfg.Spans.AddWait(seq, trace.PhaseNetwork, now.Sub(enq))
+	}
+}
+
 // record notes a response.
 func (g *Generator) record(msg []byte, at sim.Time) {
 	seq, ok := Seq(msg)
@@ -302,6 +314,7 @@ func (g *Generator) runUDP() {
 				for {
 					dg, ok, _ := sock.RecvTimeout(p, timeout)
 					if ok {
+						g.noteRxWait(dg.Payload, dg.EnqueuedAt, p.Now())
 						g.record(dg.Payload, p.Now())
 						if rseq, rok := Seq(dg.Payload); rok && rseq == seq {
 							break
@@ -358,6 +371,7 @@ func (g *Generator) runUDPOpenLoop() {
 		g.sim.Spawn(fmt.Sprintf("wl/udp-open-rx%d", c), func(p *sim.Proc) {
 			for {
 				dg := sock.Recv(p)
+				g.noteRxWait(dg.Payload, dg.EnqueuedAt, p.Now())
 				g.record(dg.Payload, p.Now())
 			}
 		})
@@ -382,10 +396,11 @@ func (g *Generator) runTCP() {
 			if openLoop {
 				g.sim.Spawn(fmt.Sprintf("wl/tcp-rx%d", c), func(rp *sim.Proc) {
 					for {
-						msg, err := conn.Recv(rp)
+						msg, enq, err := conn.RecvQueued(rp)
 						if err != nil {
 							return
 						}
+						g.noteRxWait(msg, enq, rp.Now())
 						g.record(msg, rp.Now())
 					}
 				})
@@ -408,7 +423,7 @@ func (g *Generator) runTCP() {
 				if conn.Send(p, buf) != nil {
 					return
 				}
-				msg, ok, err := conn.RecvTimeout(p, g.cfg.Timeout)
+				msg, enq, ok, err := conn.RecvQueuedTimeout(p, g.cfg.Timeout)
 				if err != nil {
 					return
 				}
@@ -421,6 +436,7 @@ func (g *Generator) runTCP() {
 					g.cfg.Spans.Close(seq, trace.SpanLost, p.Now())
 					continue
 				}
+				g.noteRxWait(msg, enq, p.Now())
 				g.record(msg, p.Now())
 			}
 		})

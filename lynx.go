@@ -26,6 +26,7 @@ import (
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
+	"lynx/internal/profile"
 	"lynx/internal/sim"
 	"lynx/internal/snic"
 	"lynx/internal/workload"
@@ -39,6 +40,7 @@ type (
 		tb     *snic.Testbed
 		params *model.Params
 		check  *check.Checker
+		prof   *profile.Profile
 	}
 	// Machine is one physical server.
 	Machine = snic.Machine
@@ -99,6 +101,18 @@ type (
 	InvariantReport = check.Report
 	// InvariantViolation is one failed runtime invariant.
 	InvariantViolation = check.Violation
+	// Platform selects where a Server's frontend runs (SmartNIC cores or
+	// host cores); obtain one from (*BlueField).Platform or
+	// (*Machine).HostPlatform.
+	Platform = core.Platform
+	// ProfileReport is a WithProfile run's tail-latency attribution report:
+	// per-phase wait/service decomposition, ranked bottlenecks, and the
+	// flight recorder's slowest/most-recent spans.
+	ProfileReport = profile.Report
+	// ClusterProfile is the attribution plane a WithProfile cluster carries
+	// (span table, flight recorder, metrics registry); obtain it with
+	// (*Cluster).Profile for advanced wiring.
+	ClusterProfile = profile.Profile
 )
 
 // Protocols and queue kinds.
@@ -125,6 +139,7 @@ type clusterConfig struct {
 	params     *Params
 	faults     FaultConfig
 	invariants bool
+	profile    bool
 }
 
 // WithSeed sets the simulation seed. Identical seeds (and options) produce
@@ -160,6 +175,19 @@ func WithInvariants() Option {
 	return func(c *clusterConfig) { c.invariants = true }
 }
 
+// WithProfile arms the cluster's tail-latency attribution plane: every
+// request carries a span whose five phases (network, snic, transfer,
+// queueing, execution) are each decomposed into waiting and in-service
+// time, a monitor samples per-resource utilization, and a bounded flight
+// recorder keeps the slowest and most recent completed spans. Read the
+// outcome with ProfileReport after the run; servers must be created with
+// (*Cluster).NewServer for their stages to be stamped. Combined with
+// WithInvariants, span-accounting finishers (phase telescoping,
+// wait ≤ phase) join the end-of-run checks.
+func WithProfile() Option {
+	return func(c *clusterConfig) { c.profile = true }
+}
+
 // NewCluster creates an empty simulated deployment.
 //
 //	cluster := lynx.NewCluster(
@@ -190,6 +218,12 @@ func NewCluster(opts ...Option) *Cluster {
 		c.check = check.New()
 		c.tb.EnableInvariants(c.check)
 	}
+	if cfg.profile {
+		c.prof = profile.New(profile.Options{})
+		if c.check != nil {
+			c.prof.Spans().RegisterInvariants(c.check)
+		}
+	}
 	return c
 }
 
@@ -211,6 +245,48 @@ func (c *Cluster) AddClient(name string) *Host { return c.tb.AddClient(name) }
 // NewServer creates a Lynx runtime on a platform obtained from
 // (*BlueField).Platform or (*Machine).HostPlatform.
 func NewServer(plat core.Platform) *Server { return core.NewRuntime(plat) }
+
+// NewServer creates a Lynx runtime wired into the cluster's observability
+// planes: with WithProfile armed, the runtime stamps request spans into the
+// cluster's span table and a monitor samples its resource utilization into
+// the cluster's metrics registry. Without WithProfile it is equivalent to
+// the package-level NewServer.
+func (c *Cluster) NewServer(plat Platform) *Server {
+	if c.prof != nil && plat.Spans == nil {
+		plat.Spans = c.prof.Spans()
+	}
+	srv := core.NewRuntime(plat)
+	if c.prof != nil {
+		// Start the monitor at the first event-loop instant so it samples
+		// the runtime after services and accelerators are registered.
+		c.tb.Sim.After(0, func() {
+			srv.StartMonitor(50*time.Microsecond, c.prof.Registry())
+		})
+	}
+	return srv
+}
+
+// Profile returns the cluster's attribution plane, or nil without
+// WithProfile. Its span table and metrics registry can be fed into other
+// exports (e.g. a Chrome trace timeline).
+func (c *Cluster) Profile() *ClusterProfile { return c.prof }
+
+// ProfileReport builds the tail-latency attribution report from everything
+// observed so far: per-phase wait/service decomposition, ranked
+// bottlenecks, and the flight recorder's slowest and most recent spans.
+// Without WithProfile it returns an empty report.
+func (c *Cluster) ProfileReport() *ProfileReport { return c.prof.Report() }
+
+// WriteProfile writes the current ProfileReport to path as deterministic,
+// pretty-printed JSON. It is a no-op (returning nil) without WithProfile.
+func (c *Cluster) WriteProfile(path string) error { return c.prof.WriteFile(path) }
+
+// ArmProfilePostmortem arranges for the profile report to be dumped to
+// path the first time a runtime invariant fires. Requires both WithProfile
+// and WithInvariants; otherwise it is a no-op.
+func (c *Cluster) ArmProfilePostmortem(path string) {
+	c.prof.ArmPostmortem(c.check, path)
+}
 
 // Spawn starts a simulated process (for clients, backends, custom logic).
 func (c *Cluster) Spawn(name string, fn func(p *Proc)) { c.tb.Sim.Spawn(name, fn) }
@@ -252,6 +328,9 @@ func (c *Cluster) Testbed() *snic.Testbed { return c.tb }
 func (c *Cluster) NewLoad(cfg LoadConfig, clients ...*Host) *workload.Generator {
 	if cfg.Check == nil {
 		cfg.Check = c.check
+	}
+	if cfg.Spans == nil && c.prof != nil {
+		cfg.Spans = c.prof.Spans()
 	}
 	return workload.New(c.tb.Sim, cfg, clients...)
 }

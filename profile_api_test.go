@@ -1,0 +1,165 @@
+package lynx_test
+
+// End-to-end coverage of the public profiling surface: WithProfile arms the
+// tail-latency attribution plane, (*Cluster).NewServer wires it into a
+// runtime, and ProfileReport/WriteProfile expose the wait/service
+// decomposition, bottleneck ranking and flight recorder.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lynx"
+	"lynx/internal/workload"
+)
+
+// profiledEcho stands up a small BlueField echo deployment with the given
+// options, runs a closed-loop load, and returns the cluster (still open).
+func profiledEcho(t *testing.T, opts ...lynx.Option) *lynx.Cluster {
+	t.Helper()
+	cluster := lynx.NewCluster(opts...)
+	server := cluster.NewMachine("server1", 6)
+	bf := server.AttachBlueField("bf1")
+	gpu := server.AddGPU("gpu0", lynx.K40m, false, "server1")
+	client := cluster.AddClient("client1")
+
+	srv := cluster.NewServer(bf.Platform(7))
+	h, err := srv.Register(gpu, lynx.QueueConfig{Kind: lynx.ServerQueue, Slots: 16, SlotSize: 128}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := srv.AddService(lynx.UDP, 7000, nil, 2, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := h.AccelQueues()
+	if err := gpu.LaunchPersistent(cluster.Testbed().Sim, 2, func(tb *lynx.TB) {
+		q := qs[tb.Index()]
+		for {
+			m := q.Recv(tb.Proc())
+			tb.Compute(5 * time.Microsecond)
+			if q.Send(tb.Proc(), uint16(m.Slot), m.Payload) != nil {
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	res := cluster.MeasureLoad(lynx.LoadConfig{
+		Proto: workload.UDP, Target: svc.Addr(), Payload: 64,
+		Clients: 8, Duration: 5 * time.Millisecond, Warmup: time.Millisecond,
+		Timeout: 5 * time.Millisecond,
+	}, client)
+	if res.Received == 0 {
+		t.Fatal("no responses")
+	}
+	return cluster
+}
+
+func TestProfilePublicAPI(t *testing.T) {
+	cluster := profiledEcho(t, lynx.WithSeed(1), lynx.WithProfile(), lynx.WithInvariants())
+	defer cluster.Close()
+
+	if cluster.Profile() == nil {
+		t.Fatal("Profile() nil with WithProfile armed")
+	}
+	rep := cluster.ProfileReport()
+	if rep.SpansClosed == 0 {
+		t.Fatal("no spans closed — profiling not wired through NewServer/NewLoad")
+	}
+	var sum int64
+	for _, ps := range rep.Phases {
+		if ps.Total.Count == 0 {
+			t.Fatalf("phase %s empty", ps.Phase)
+		}
+		if ps.Total.Count != ps.Wait.Count || ps.Total.Count != ps.Service.Count {
+			t.Fatalf("phase %s: wait/service population diverges from total", ps.Phase)
+		}
+		sum += ps.Total.MeanNs
+	}
+	if sum <= 0 || rep.EndToEnd.MeanNs <= 0 {
+		t.Fatal("degenerate phase means")
+	}
+	// Telescoping also holds in the aggregate means (within 1ns/phase
+	// integer-division slack).
+	if diff := sum - rep.EndToEnd.MeanNs; diff < -5 || diff > 5 {
+		t.Fatalf("phase means sum %dns vs end-to-end mean %dns", sum, rep.EndToEnd.MeanNs)
+	}
+	if len(rep.Bottlenecks) == 0 {
+		t.Fatal("no bottleneck ranking (monitor not started by NewServer)")
+	}
+	if len(rep.Top) == 0 || len(rep.Recent) == 0 {
+		t.Fatal("flight recorder empty")
+	}
+
+	path := filepath.Join(t.TempDir(), "prof.json")
+	if err := cluster.WriteProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded lynx.ProfileReport
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("WriteProfile output invalid: %v", err)
+	}
+	if decoded.SpansClosed != rep.SpansClosed {
+		t.Fatalf("file reports %d spans, live report %d", decoded.SpansClosed, rep.SpansClosed)
+	}
+
+	// The span-accounting finishers joined the invariant run and pass.
+	cluster.Close()
+	if inv := cluster.InvariantReport(); !inv.OK() || inv.Finishers == 0 {
+		t.Fatalf("invariants: %s", inv)
+	}
+}
+
+// TestProfileDisabledIsInert: without WithProfile the accessors are empty
+// no-ops and nothing is written.
+func TestProfileDisabledIsInert(t *testing.T) {
+	cluster := profiledEcho(t, lynx.WithSeed(1))
+	defer cluster.Close()
+	if cluster.Profile() != nil {
+		t.Fatal("Profile() non-nil without WithProfile")
+	}
+	if rep := cluster.ProfileReport(); rep == nil || rep.SpansClosed != 0 {
+		t.Fatalf("unprofiled report = %+v, want empty", rep)
+	}
+	path := filepath.Join(t.TempDir(), "never.json")
+	if err := cluster.WriteProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("WriteProfile created a file without WithProfile")
+	}
+	cluster.ArmProfilePostmortem(path) // must be a no-op, not a panic
+}
+
+// TestProfileDeterministicAcrossRuns: two identically seeded profiled runs
+// produce byte-identical reports through the public API.
+func TestProfileDeterministicAcrossRuns(t *testing.T) {
+	render := func() []byte {
+		cluster := profiledEcho(t, lynx.WithSeed(7), lynx.WithProfile())
+		defer cluster.Close()
+		path := filepath.Join(t.TempDir(), "p.json")
+		if err := cluster.WriteProfile(path); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a, b := render(), render()
+	if string(a) != string(b) {
+		t.Fatal("profile reports differ across identically seeded runs")
+	}
+}

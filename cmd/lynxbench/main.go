@@ -12,6 +12,8 @@
 //	lynxbench -exp attribution -profile-json prof.json
 //	                                # dump the tail-latency attribution report
 //	lynxbench -exp fig6 -top 10     # table of the 10 slowest requests
+//	lynxbench -exp fig6 -batch 8    # end-to-end batching (doorbell, CQ drain,
+//	                                # dispatcher quantum) of 8 on every run
 //
 // Output is a text table per experiment, with the paper's numbers alongside
 // the measured ones. Runs are bit-reproducible for a given seed and scale:
@@ -32,6 +34,7 @@ import (
 	"lynx/internal/check"
 	"lynx/internal/experiments"
 	"lynx/internal/fault"
+	"lynx/internal/model"
 )
 
 func main() {
@@ -50,6 +53,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loss       = fs.Float64("loss", 0, "inject datagram drop probability into every experiment (0..1)")
 		parallel   = fs.Int("parallel", 0, "sweep workers: 0 = one per CPU, 1 = sequential, n = n workers")
 		invariants = fs.Bool("invariants", false, "arm runtime invariant checks on every simulation; non-zero exit on any violation")
+		batch      = fs.Int("batch", 0, "doorbell batch size for every experiment run (0 = unbatched; experiments that pin their own batching, like -exp batch, are unaffected)")
+		batchCQ    = fs.Int("batch-cq", 0, "completion/TX drain budget (0 = follow -batch)")
+		batchQuant = fs.Int("batch-quantum", 0, "dispatcher scheduling quantum in messages (0 = follow -batch)")
 		traceJSON  = fs.String("trace-json", "", "write a Chrome trace-event timeline from instrumented experiments (breakdown) to this file")
 		profJSON   = fs.String("profile-json", "", "write the tail-latency attribution report (wait/service decomposition, bottleneck ranking, flight recorder) from instrumented experiments (breakdown, attribution) to this file")
 		topN       = fs.Int("top", 0, "print the N slowest requests (status, per-phase wait/service) after the runs")
@@ -93,7 +99,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if workers <= 0 {
 		workers = experiments.AutoWorkers
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON, ProfileJSON: *profJSON}
+	bc, err := model.BatchConfigFromFlags(*batch, *batchCQ, *batchQuant)
+	if err != nil {
+		fmt.Fprintln(stderr, "lynxbench:", err)
+		return 2
+	}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON, ProfileJSON: *profJSON, Batch: bc}
 	if *topN > 0 {
 		cfg.Top = experiments.NewTopCollector(*topN)
 	}

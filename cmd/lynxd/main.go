@@ -8,6 +8,7 @@
 //	lynxd -app lenet               # LeNet digit-recognition service
 //	lynxd -platform xeon -cores 6  # run Lynx on host cores instead
 //	lynxd -rate 50000 -secs 2      # open-loop load, simulated seconds
+//	lynxd -batch 8                 # batch the hot path end to end by 8
 //	lynxd -invariants              # arm runtime invariant checks
 //	lynxd -profile-json prof.json  # tail-latency attribution report on exit
 package main
@@ -22,6 +23,7 @@ import (
 	"lynx"
 	"lynx/internal/apps/lenet"
 	"lynx/internal/metrics"
+	"lynx/internal/model"
 	"lynx/internal/trace"
 	"lynx/internal/workload"
 )
@@ -47,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut   = fs.String("trace-json", "", "write a Chrome trace-event timeline (spans, samples, events) to this file")
 		profOut    = fs.String("profile-json", "", "write the tail-latency attribution report (wait/service decomposition, bottleneck ranking, flight recorder) to this file on exit; with -invariants, the first violation also dumps <file>.postmortem")
 		invariants = fs.Bool("invariants", false, "arm runtime invariant checks; non-zero exit on any violation")
+		batch      = fs.Int("batch", 0, "doorbell batch size (0 = unbatched per-message hot path)")
+		batchCQ    = fs.Int("batch-cq", 0, "completion/TX drain budget (0 = follow -batch)")
+		batchQuant = fs.Int("batch-quantum", 0, "dispatcher scheduling quantum in messages (0 = follow -batch)")
 		loss       = fs.Float64("loss", 0, "inject datagram drop probability (0..1)")
 		dup        = fs.Float64("dup", 0, "inject datagram duplication probability (0..1)")
 		rdmaErr    = fs.Float64("rdma-err", 0, "inject RDMA completion error probability (0..1)")
@@ -70,6 +75,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fc.Stalls = []lynx.FaultStall{{Accel: "gpu0", Queue: *stallQ, At: *stallAt, For: *stallFor}}
 	}
 	opts := []lynx.Option{lynx.WithSeed(*seed), lynx.WithFaults(fc)}
+	if bc, err := model.BatchConfigFromFlags(*batch, *batchCQ, *batchQuant); err != nil {
+		return fail(err)
+	} else if bc != (lynx.BatchConfig{}) {
+		opts = append(opts, lynx.WithBatching(bc))
+	}
 	if *invariants {
 		opts = append(opts, lynx.WithInvariants())
 	}

@@ -62,6 +62,13 @@ type Config struct {
 	// testbed the experiment builds and collects each testbed's slowest
 	// completed requests here (cmd/lynxbench -top).
 	Top *TopCollector
+	// Batch installs a hot-path batching configuration (doorbell coalescing,
+	// CQ drain budget, dispatcher quantum) on every testbed the experiment
+	// builds, except testbeds whose experiment pins its own batching (the
+	// -exp batch sweep compares configurations explicitly). The zero value
+	// batches nothing and leaves every result byte-identical to earlier
+	// releases.
+	Batch model.BatchConfig
 }
 
 func (c Config) window(d time.Duration) time.Duration {
@@ -278,6 +285,13 @@ func newEnv(cfg Config) *env {
 }
 
 func newEnvWith(cfg Config, p *model.Params) *env {
+	// A run-wide batching configuration (lynxbench -batch*) applies to every
+	// testbed that does not pin its own; experiments sweeping batching set
+	// p.Batch explicitly and win. Callers pass per-point Params copies, so
+	// the write never leaks across sweep points.
+	if !cfg.Batch.Unit() && p.Batch == (model.BatchConfig{}) {
+		p.Batch = cfg.Batch
+	}
 	tb := snic.NewTestbedWith(cfg.Seed+1, p, cfg.Faults)
 	var ck *check.Checker
 	if cfg.Invariants.Enabled() {

@@ -54,6 +54,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		isoQuiet, isoNoisy                   workload.Result
 		barOff, barOn                        time.Duration
 		dispatcherRank                       float64
+		kneeGain                             float64
 	)
 	tasks := []func(){
 		func() { _, invOverhead = invocationOverhead(cfg) },
@@ -81,6 +82,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		func() { barOff, _ = barrierRun(cfg, false) },
 		func() { barOn, _ = barrierRun(cfg, true) },
 		func() { dispatcherRank = attributionDispatcherRank(cfg) },
+		func() { kneeGain = batchKneeGain(cfg) },
 	}
 	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
 
@@ -111,6 +113,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		"barrier.extra_us":       float64(barOn-barOff) / float64(time.Microsecond),
 
 		"attribution.dispatcher_rank": dispatcherRank,
+		"batch.knee_gain":             kneeGain,
 	}
 }
 

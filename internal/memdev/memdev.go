@@ -29,13 +29,31 @@ type Region struct {
 
 	watchers []*watcher
 
+	// buckets indexes watchers by fixed-size byte ranges so a write only
+	// examines watchers that can overlap it, instead of scanning every
+	// watcher on the region (a queue group region carries several watchers
+	// per mqueue, so the linear scan was O(queues) per DMA write). A watcher
+	// spanning multiple buckets appears in each; fireSeq deduplicates within
+	// one fire.
+	buckets [][]*watcher
+	fireSeq uint64
+
 	// stats
 	writes, reads uint64
 }
 
-// watcher wakes a gate whenever a write overlaps its byte range.
+// watchBucketShift sizes the watcher index granularity (256-byte buckets):
+// fine enough that a slot-sized write touches one or two buckets, coarse
+// enough that the index stays small for multi-megabyte regions.
+const watchBucketShift = 8
+
+// watcher wakes a gate whenever a write overlaps its byte range. idx is the
+// registration order, which fire preserves so that wake order — and with it
+// the deterministic event sequence — is identical to a plain linear scan.
 type watcher struct {
 	off, n int
+	idx    int
+	seen   uint64
 	gate   *sim.Gate
 }
 
@@ -88,17 +106,50 @@ func (r *Region) check(off, n int) {
 // callers re-add the modelled polling detection latency after waking.
 func (r *Region) Watch(off, n int) *sim.Gate {
 	r.check(off, n)
-	w := &watcher{off: off, n: n, gate: sim.NewGate(r.sim)}
+	w := &watcher{off: off, n: n, idx: len(r.watchers), gate: sim.NewGate(r.sim)}
 	r.watchers = append(r.watchers, w)
+	if n > 0 {
+		if r.buckets == nil {
+			nb := (len(r.buf) + (1 << watchBucketShift) - 1) >> watchBucketShift
+			r.buckets = make([][]*watcher, nb)
+		}
+		for b := off >> watchBucketShift; b <= (off+n-1)>>watchBucketShift; b++ {
+			r.buckets[b] = append(r.buckets[b], w)
+		}
+	}
 	return w.gate
 }
 
-// fire wakes watchers overlapping the written range.
+// fire wakes watchers overlapping the written range, in registration order.
 func (r *Region) fire(off, n int) {
-	for _, w := range r.watchers {
-		if off < w.off+w.n && w.off < off+n {
-			w.gate.Fire()
+	if n <= 0 || len(r.watchers) == 0 {
+		return
+	}
+	r.fireSeq++
+	hi := (off + n - 1) >> watchBucketShift
+	if hi >= len(r.buckets) {
+		hi = len(r.buckets) - 1
+	}
+	// Collect overlapping watchers from the covered buckets, restoring
+	// registration order (bucket lists are individually ordered, but a write
+	// spanning buckets interleaves them). The hit set is almost always 0–2
+	// watchers, so an insertion sort over a stack scratch buffer suffices.
+	var scratch [8]*watcher
+	hits := scratch[:0]
+	for b := off >> watchBucketShift; b <= hi; b++ {
+		for _, w := range r.buckets[b] {
+			if w.seen == r.fireSeq || off >= w.off+w.n || w.off >= off+n {
+				continue
+			}
+			w.seen = r.fireSeq
+			hits = append(hits, w)
+			for i := len(hits) - 1; i > 0 && hits[i-1].idx > hits[i].idx; i-- {
+				hits[i-1], hits[i] = hits[i], hits[i-1]
+			}
 		}
+	}
+	for _, w := range hits {
+		w.gate.Fire()
 	}
 }
 

@@ -91,6 +91,23 @@ type Params struct {
 	// only ~1.4x one Xeon core of Lynx dispatch (102 vs 74 GPUs), while 6
 	// Xeon cores are ~1.8x BlueField (the "up to 45% slower" of §6.2).
 	StackSerialFraction float64
+	// SerialBatchFixed is the fraction of the per-message serialized-section
+	// cost that is fixed per dispatcher pass rather than per message: ring
+	// doorbell reads, dispatcher lock handoff, receive-ring cache refills.
+	// When the dispatcher processes a quantum of k messages in one pass
+	// (Batch.Quantum > 1), the serialized charge becomes
+	// fixed + k*(per-message - fixed) instead of k*per-message — this is the
+	// amortization that moves the Fig. 9 serialization knee. Irrelevant at
+	// quantum 1, where the charge reduces to the exact legacy value.
+	SerialBatchFixed float64
+
+	// --- Batching ---------------------------------------------------------
+
+	// Batch tunes end-to-end hot-path batching (doorbell coalescing, CQ
+	// drain budget, dispatcher quantum, coalescing window). The zero value
+	// batches nothing and leaves every code path byte-identical to the
+	// per-message runtime; see BatchConfig.
+	Batch BatchConfig
 
 	// --- PCIe fabric ------------------------------------------------------
 
@@ -269,6 +286,7 @@ func Default() Params {
 		TCPMultVMA:          10.0,
 		ARMSyscallPenalty:   2.0,
 		StackSerialFraction: 0.4,
+		SerialBatchFixed:    0.5,
 
 		PCIeLatency:       900 * time.Nanosecond,
 		PCIeBandwidth:     62e9, // x8 Gen3 usable ≈ 7.8 GB/s

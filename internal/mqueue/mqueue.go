@@ -247,6 +247,51 @@ func (q *Queue) Push(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
 	return slot, nil
 }
 
+// QP returns the queue pair this queue's transfers ride on. Queues of one
+// group share a QP, which is what lets a dispatcher quantum post writes for
+// several queues under one doorbell.
+func (q *Queue) QP() *rdma.QP { return q.qp }
+
+// PrepareWrite reserves the next RX slot and returns the coalesced work
+// request that delivers payload into it, without posting. Callers collect
+// WRs from several PrepareWrite calls — across all queues of a group, which
+// share a QP — and post them together (rdma.PostAndWait) so a k-message
+// quantum costs ceil(k/doorbell) issue charges and ceil(k/cqDrain) wakeups
+// instead of k of each. Flow control (one header Refresh retry, then
+// ErrQueueFull), slot reservation before any yield, ring-bound checking and
+// delivery-time StagePushed stamping are identical to Push. Coalesced mode
+// only: the barrier and no-coalesce ablations model per-message transaction
+// splits that multi-WQE posting cannot honestly amortize.
+func (q *Queue) PrepareWrite(p *sim.Proc, payload []byte, errStatus byte) (rdma.WR, int, error) {
+	if q.cfg.Barrier || q.cfg.NoCoalesce {
+		return rdma.WR{}, 0, fmt.Errorf("mqueue: PrepareWrite requires coalesced mode")
+	}
+	if len(payload) > q.cfg.MaxPayload() {
+		return rdma.WR{}, 0, fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), q.cfg.MaxPayload())
+	}
+	if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+		q.Refresh(p)
+		if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+			q.full++
+			return rdma.WR{}, 0, ErrQueueFull
+		}
+	}
+	slot := int(q.rxHead % uint64(q.cfg.Slots))
+	q.rxHead++
+	if ck := q.cfg.Check; ck.Enabled() && q.rxHead-q.rxConsumed > uint64(q.cfg.Slots) {
+		ck.Failf("mqueue.ring-bound", "RX overcommit: head %d consumed %d slots %d",
+			q.rxHead, q.rxConsumed, q.cfg.Slots)
+	}
+	q.pushed++
+	return rdma.WR{
+		Op:        rdma.OpWrite,
+		Region:    q.region,
+		Offset:    q.lay.rxSlot(q.cfg, slot),
+		Data:      buildSlot(payload, errStatus, 0, 1),
+		OnDeliver: q.stampPushed(payload),
+	}, slot, nil
+}
+
 // stampPushed returns the OnDeliver hook stamping StagePushed for payload's
 // span at the write's delivery instant; nil when the queue has no span table
 // (keeps the uninstrumented push path allocation-free).
@@ -369,6 +414,58 @@ func (q *Queue) PopTx(p *sim.Proc) (TxMsg, bool) {
 		}
 	}
 	return TxMsg{Payload: payload, Err: raw[offError], Corr: corr, Slot: slot}, true
+}
+
+// PopTxMany drains up to budget TX messages with a single RDMA READ spanning
+// the contiguous run of ready slots, storing them into out and returning the
+// count. The run stops at the ring wrap (the next call picks up the
+// remainder), so one sweep visit costs at most two read round trips instead
+// of one per message. Per-slot parsing, the doorbell-miss guard and the
+// TX-drain wait booking are identical to PopTx; like PopTx, the caller must
+// eventually CommitTx.
+func (q *Queue) PopTxMany(p *sim.Proc, budget int, out []TxMsg) int {
+	if budget > len(out) {
+		budget = len(out)
+	}
+	if backlog := q.TxBacklog(); budget > backlog {
+		budget = backlog
+	}
+	first := int(q.txTail % uint64(q.cfg.Slots))
+	if run := q.cfg.Slots - first; budget > run {
+		budget = run
+	}
+	if budget <= 0 {
+		return 0
+	}
+	drainStart := p.Now()
+	raw := q.qp.Read(p, q.region, q.lay.txSlot(q.cfg, first), budget*q.cfg.SlotSize)
+	for i := 0; i < budget; i++ {
+		sraw := raw[i*q.cfg.SlotSize:]
+		if sraw[offDoorbell] == 0 {
+			q.cfg.Check.Failf("mqueue.doorbell-miss",
+				"TX slot %d counted ready (seen %d, drained %d) but doorbell clear",
+				first+i, q.txSeen, q.txTail)
+			return i
+		}
+		size := int(sraw[offSize]) | int(sraw[offSize+1])<<8
+		corr := uint16(sraw[offCorr]) | uint16(sraw[offCorr+1])<<8
+		if size > q.cfg.MaxPayload() {
+			size = q.cfg.MaxPayload()
+		}
+		payload := make([]byte, size)
+		copy(payload, sraw[HeaderBytes:HeaderBytes+size])
+		q.txTail++
+		q.txDirty = true
+		q.polled++
+		if sp := q.cfg.Spans; sp != nil {
+			id := trace.SpanID(payload)
+			if sentAt, ok := sp.StampAt(id, trace.StageAccelSent); ok {
+				sp.AddWait(id, trace.PhaseQueueing, drainStart.Sub(sentAt))
+			}
+		}
+		out[i] = TxMsg{Payload: payload, Err: sraw[offError], Corr: corr, Slot: first + i}
+	}
+	return budget
 }
 
 // CommitTx publishes the drained-TX counter to the accelerator (one RDMA

@@ -317,6 +317,14 @@ func (s *UDPSocket) RecvTimeout(p *sim.Proc, d time.Duration) (Datagram, bool, e
 	return dg, ok, nil
 }
 
+// RecvBatch receives up to len(buf) datagrams: it blocks for the first, then
+// drains whatever is already queued without blocking. Returns the count
+// stored (at least 1 for a non-empty buf). This is the dispatcher's batched
+// dequeue path: one wakeup per burst instead of one per packet.
+func (s *UDPSocket) RecvBatch(p *sim.Proc, buf []Datagram) int {
+	return s.rxq.GetBatch(p, buf)
+}
+
 // TryRecv polls for a datagram without blocking.
 func (s *UDPSocket) TryRecv() (Datagram, bool) { return s.rxq.TryGet() }
 

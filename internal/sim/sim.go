@@ -62,6 +62,20 @@ type Sim struct {
 	seq    uint64
 	rng    *rand.Rand
 
+	// iq is the same-instant fast path: events scheduled at exactly the
+	// current timestamp land in this flat FIFO instead of the heap, so a
+	// k-event burst of immediate handoffs (channel rendezvous, gate fires,
+	// resource releases) costs O(k) appends and pops rather than O(k log n)
+	// heap operations. Entries always satisfy at == now and carry strictly
+	// increasing seq values greater than any same-timestamp heap entry, so
+	// draining iq in FIFO order — after any older heap events at the same
+	// instant — preserves the exact (at, seq) total order of a pure heap:
+	// results are byte-identical. iqHead indexes the next entry; the slice
+	// resets (keeping capacity) whenever it fully drains, which happens
+	// before the clock can advance.
+	iq     []event
+	iqHead int
+
 	executed uint64
 
 	// timeRegressions counts events that executed with a timestamp earlier
@@ -191,6 +205,10 @@ func (s *Sim) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
+	if t == s.now {
+		s.iq = append(s.iq, event{at: t, seq: s.seq, fn: fn})
+		return
+	}
 	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
@@ -198,6 +216,10 @@ func (s *Sim) At(t Time, fn func()) {
 // by every blocking primitive in this package.
 func (s *Sim) atStep(t Time, p *Proc) {
 	s.seq++
+	if t == s.now {
+		s.iq = append(s.iq, event{at: t, seq: s.seq, proc: p})
+		return
+	}
 	s.push(event{at: t, seq: s.seq, proc: p})
 }
 
@@ -211,30 +233,57 @@ func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
 // returns when the heap is empty or the next event lies beyond limit; in the
 // latter case the clock is left at limit.
 func (s *Sim) RunUntil(limit Time) {
-	for len(s.events) > 0 {
+	for {
+		if s.iqHead < len(s.iq) {
+			// The same-instant FIFO has work at the current timestamp. It
+			// runs next unless the heap still holds an older event — same
+			// instant, smaller seq, pushed before the clock arrived here —
+			// in which case that event must go first to preserve the global
+			// (at, seq) order.
+			if len(s.events) > 0 && eventLess(&s.events[0], &s.iq[s.iqHead]) {
+				s.runEvent(s.popMin())
+				continue
+			}
+			e := s.iq[s.iqHead]
+			s.iq[s.iqHead] = event{} // release proc/closure references
+			s.iqHead++
+			if s.iqHead == len(s.iq) {
+				s.iq = s.iq[:0]
+				s.iqHead = 0
+			}
+			s.runEvent(e)
+			continue
+		}
+		if len(s.events) == 0 {
+			break
+		}
 		if s.events[0].at > limit {
 			s.now = limit
 			return
 		}
-		e := s.popMin()
-		if e.at < s.now {
-			s.timeRegressions++
-		}
-		s.now = e.at
-		s.executed++
-		if e.proc != nil {
-			s.step(e.proc)
-		} else {
-			e.fn()
-		}
+		s.runEvent(s.popMin())
 	}
 	if s.now < limit && limit < Time(1<<62-1) {
 		s.now = limit
 	}
 }
 
+// runEvent advances the clock to e.at and executes e.
+func (s *Sim) runEvent(e event) {
+	if e.at < s.now {
+		s.timeRegressions++
+	}
+	s.now = e.at
+	s.executed++
+	if e.proc != nil {
+		s.step(e.proc)
+	} else {
+		e.fn()
+	}
+}
+
 // Pending reports the number of scheduled events.
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return len(s.events) + len(s.iq) - s.iqHead }
 
 // ---------------------------------------------------------------------------
 // Processes
@@ -370,6 +419,8 @@ func (s *Sim) Shutdown() {
 	}
 	// Drop remaining events; their closures may reference dead procs.
 	s.events = nil
+	s.iq = nil
+	s.iqHead = 0
 	s.order = nil
 }
 
@@ -562,6 +613,37 @@ func (c *Chan[T]) Get(p *Proc) T {
 	}()
 	p.block()
 	return w.val
+}
+
+// GetBatch dequeues up to len(buf) items: it blocks for the first, then
+// drains whatever else is immediately available without blocking or letting
+// the clock advance. Returns the number of items stored — at least 1 for a
+// non-empty buf. One wakeup absorbs a whole queued burst, which is what
+// makes a k-message drain cost O(1) scheduler handoffs instead of O(k).
+func (c *Chan[T]) GetBatch(p *Proc, buf []T) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	buf[0] = c.Get(p)
+	n := 1
+	for n < len(buf) {
+		v, ok := c.TryGet()
+		if !ok {
+			break
+		}
+		buf[n] = v
+		n++
+	}
+	return n
+}
+
+// PutBatch enqueues every value in order, blocking as capacity requires.
+// With the same-instant scheduler fast path, a batch put into a drained
+// queue wakes the consumer once and buffers the rest.
+func (c *Chan[T]) PutBatch(p *Proc, vals []T) {
+	for _, v := range vals {
+		c.Put(p, v)
+	}
 }
 
 // TryGet dequeues without blocking, reporting whether a value was available.

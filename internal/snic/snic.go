@@ -393,29 +393,54 @@ func (in *Innova) serve(port uint16, acc accel.Accelerator, cfg mqueue.Config, n
 		// reads) and emit responses at pipeline rate.
 		tb.Sim.Spawn("innova/afu-tx", func(p *sim.Proc) {
 			gate := group.ActivityGate()
+			// With batching configured, the egress AFU drains each ring in
+			// spanning reads of up to the CQ-drain budget per visit; the
+			// per-response pipeline charge is unchanged (the FPGA pipeline
+			// is per-packet — only the ring-poll round trips amortize).
+			batch := tb.Params.Batch
+			var txBuf []mqueue.TxMsg
+			if !batch.Unit() {
+				txBuf = make([]mqueue.TxMsg, batch.EffCQDrain())
+			}
+			emit := func(p *sim.Proc, qi int, msg mqueue.TxMsg) {
+				in.pipeline.With(p, tb.Params.InnovaPipeline, nil)
+				fifo := pending[qi].fifo[msg.Corr]
+				if len(fifo) == 0 {
+					tb.Check.Failf("snic.orphan-response",
+						"innova q%d: TX message for slot %d has no pending request", qi, msg.Corr)
+					return
+				}
+				to := fifo[0]
+				pending[qi].fifo[msg.Corr] = fifo[1:]
+				sock.SendTo(to, msg.Payload)
+				in.sent++
+			}
 			for {
 				v := gate.Version()
 				group.Refresh(p)
 				drained := false
 				for qi := 0; qi < n; qi++ {
 					q := group.Queue(qi)
-					for q.Ready() {
-						msg, ok := q.PopTx(p)
-						if !ok {
-							break
+					if txBuf != nil {
+						for q.Ready() {
+							k := q.PopTxMany(p, len(txBuf), txBuf)
+							if k == 0 {
+								break
+							}
+							drained = true
+							for j := 0; j < k; j++ {
+								emit(p, qi, txBuf[j])
+							}
 						}
-						drained = true
-						in.pipeline.With(p, tb.Params.InnovaPipeline, nil)
-						fifo := pending[qi].fifo[msg.Corr]
-						if len(fifo) == 0 {
-							tb.Check.Failf("snic.orphan-response",
-								"innova q%d: TX message for slot %d has no pending request", qi, msg.Corr)
-							continue
+					} else {
+						for q.Ready() {
+							msg, ok := q.PopTx(p)
+							if !ok {
+								break
+							}
+							drained = true
+							emit(p, qi, msg)
 						}
-						to := fifo[0]
-						pending[qi].fifo[msg.Corr] = fifo[1:]
-						sock.SendTo(to, msg.Payload)
-						in.sent++
 					}
 					q.CommitTx(p)
 				}

@@ -113,6 +113,11 @@ type (
 	// (span table, flight recorder, metrics registry); obtain it with
 	// (*Cluster).Profile for advanced wiring.
 	ClusterProfile = profile.Profile
+	// BatchConfig tunes end-to-end hot-path batching (doorbell coalescing,
+	// CQ drain budget, dispatcher quantum, coalescing window); install it
+	// with WithBatching. The zero value batches nothing: batch size 1
+	// everywhere, byte-identical to a cluster built without the option.
+	BatchConfig = model.BatchConfig
 )
 
 // Protocols and queue kinds.
@@ -138,6 +143,7 @@ type clusterConfig struct {
 	seed       uint64
 	params     *Params
 	faults     FaultConfig
+	batch      BatchConfig
 	invariants bool
 	profile    bool
 }
@@ -188,6 +194,27 @@ func WithProfile() Option {
 	return func(c *clusterConfig) { c.profile = true }
 }
 
+// DefaultBatchConfig returns the tuned batching configuration (8 WQEs per
+// doorbell, CQ drain budget 16, dispatcher quantum 8, no coalescing delay) —
+// the configuration the -exp batch knee sweep reports as "batched".
+func DefaultBatchConfig() BatchConfig { return model.DefaultBatchConfig() }
+
+// WithBatching installs a hot-path batching configuration on the cluster:
+// dispatcher contexts dequeue a quantum of ready messages per wakeup, mqueue
+// writes post in doorbell groups with checkpointed completion waits, and
+// TX-ring sweeps drain in spanning reads. The configuration applies to every
+// Server subsequently created on the cluster.
+//
+// The zero BatchConfig — and the explicit unit configuration
+// {Doorbell: 1, CQDrain: 1, Quantum: 1} — leaves the runtime on its exact
+// per-message code paths, byte-identical to a cluster built without this
+// option. Invalid configurations (zero or negative budgets alongside set
+// fields, negative coalescing window) make NewCluster panic; validate ahead
+// of time with BatchConfig.Validate when the values come from user input.
+func WithBatching(bc BatchConfig) Option {
+	return func(c *clusterConfig) { c.batch = bc }
+}
+
 // NewCluster creates an empty simulated deployment.
 //
 //	cluster := lynx.NewCluster(
@@ -209,6 +236,16 @@ func NewCluster(opts ...Option) *Cluster {
 	if cfg.params == nil {
 		def := model.Default()
 		cfg.params = &def
+	}
+	if cfg.batch != (BatchConfig{}) {
+		if err := cfg.batch.Validate(); err != nil {
+			panic("lynx: WithBatching: " + err.Error())
+		}
+		// Apply onto a copy: WithParams documents the caller's struct is
+		// used as-is, so it must not be mutated behind their back.
+		pp := *cfg.params
+		pp.Batch = cfg.batch
+		cfg.params = &pp
 	}
 	c := &Cluster{
 		tb:     snic.NewTestbedWith(cfg.seed, cfg.params, cfg.faults),

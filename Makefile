@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test bench eval examples vet clean
+.PHONY: all test bench bench-compare eval examples vet clean
 
 all: vet test
 
@@ -17,6 +17,16 @@ vet:
 #   benchstat old.txt new.txt
 bench:
 	$(GO) test -bench=. -benchmem -count=5 ./...
+
+# Statistical comparison of the scheduler benchmarks against a recorded
+# baseline, using the bundled dependency-free comparator (cmd/benchcmp —
+# benchstat needs network access to install, this repo builds offline).
+# Override BASELINE to diff against a different recording, e.g.:
+#   make bench-compare BASELINE=bench/pr7.txt
+BASELINE ?= bench/baseline_pr6.txt
+bench-compare:
+	$(GO) test -run '^$$' -bench BenchmarkSimEngine -benchmem -count=10 ./internal/sim/ | tee bench_new.txt
+	$(GO) run ./cmd/benchcmp $(BASELINE) bench_new.txt
 
 # Regenerate every table and figure of the paper's evaluation.
 eval:

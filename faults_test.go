@@ -137,3 +137,39 @@ func TestFaultPlanDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic under faults:\n  %s\n  %s", a, b)
 	}
 }
+
+// The hot path (UDP receive workers and MQ-manager sweeps) runs on the
+// scheduler's run-to-completion task substrate; this drives it under armed
+// runtime invariants AND fault injection at once, proving the checkers'
+// conservation ledgers (request conservation, ring bounds, span telescoping)
+// hold when the stages execute as inline continuations rather than
+// coroutines. RDMAErrRate is deliberately absent: go-back-N retries violate
+// the mqueue header-monotonicity check on any substrate (a long-standing
+// limitation of that checker, identical on the coroutine path).
+func TestInvariantsHoldOnTaskSubstrateUnderFaults(t *testing.T) {
+	cluster, srv, target, client := gpuEcho(t,
+		lynx.WithSeed(11),
+		lynx.WithInvariants(),
+		lynx.WithFaults(lynx.FaultConfig{
+			Seed: 11, DropRate: 0.02, DelayRate: 0.05,
+		}),
+	)
+	defer cluster.Close()
+	res := cluster.MeasureLoad(lynx.LoadConfig{
+		Proto: workload.UDP, Target: target, Payload: 64,
+		Clients: 8, Duration: 20 * time.Millisecond, Warmup: time.Millisecond,
+		Timeout: time.Millisecond, Retries: 3,
+	}, client)
+	if res.Received == 0 {
+		t.Fatal("no traffic flowed")
+	}
+	if srv.Stats().Received == 0 {
+		t.Fatal("task-hosted dispatch path never ran")
+	}
+	cluster.Close()
+	if rep := cluster.InvariantReport(); !rep.OK() {
+		t.Fatalf("invariant violations on the task substrate under faults:\n%s", rep)
+	} else if rep.Finishers == 0 {
+		t.Fatal("no invariant finishers ran — WithInvariants not wired")
+	}
+}

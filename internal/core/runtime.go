@@ -153,6 +153,12 @@ type Runtime struct {
 	serialBusy    time.Duration
 	execCalls     uint64
 
+	// execFrames pools the scratch frames that carry task-substrate exec
+	// calls through their serialized/parallel resource holds (see
+	// execFrame in runtime_task.go). The event loop is single-threaded, so
+	// a plain slice free list suffices.
+	execFrames []*execFrame
+
 	// inTransit counts requests popped from a reply FIFO but not yet
 	// answered (or relayed into the next pipeline stage): a shutdown can
 	// kill the forwarding process inside that window, leaving the request
@@ -873,7 +879,11 @@ func (rt *Runtime) Start() error {
 		switch svc.proto {
 		case UDP:
 			// One receive context per worker core, all draining the
-			// shared socket (RSS-like).
+			// shared socket (RSS-like). These always-on contexts run on the
+			// run-to-completion Task substrate: every wake executes inline
+			// in the scheduler loop, with no goroutine switch per datagram.
+			// The operation sequence is identical to the coroutine form
+			// (see runtime_task.go), so results match byte-for-byte.
 			if batch := rt.plat.Params.Batch; !batch.Unit() {
 				// Batched dequeue: each context drains a quantum of ready
 				// datagrams per wakeup, optionally lingering one coalescing
@@ -881,22 +891,12 @@ func (rt *Runtime) Start() error {
 				// serialized section once.
 				quantum := batch.EffQuantum()
 				for w := 0; w < rt.plat.Workers; w++ {
-					s.Spawn(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(p *sim.Proc) {
+					s.SpawnTask(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(t *sim.Task) {
 						dgs := make([]netstack.Datagram, quantum)
-						for {
-							n := svc.udpSock.RecvBatch(p, dgs)
-							if win := batch.CoalesceWindow; win > 0 && n < quantum {
-								p.Sleep(win)
-								for n < quantum {
-									dg, ok := svc.udpSock.TryRecv()
-									if !ok {
-										break
-									}
-									dgs[n] = dg
-									n++
-								}
-							}
-							now := p.Now()
+						var loop func()
+						var gotBatch func(n int)
+						process := func(n int) {
+							now := t.Now()
 							for i := 0; i < n; i++ {
 								id := trace.SpanID(dgs[i].Payload)
 								rt.plat.Spans.Stamp(id, trace.StageSnicRecv, now)
@@ -904,30 +904,62 @@ func (rt *Runtime) Start() error {
 									rt.plat.Spans.AddWait(id, trace.PhaseNetwork, now.Sub(dgs[i].EnqueuedAt))
 								}
 							}
-							qw := rt.execBatch(p, rt.udpCost(), n)
-							for i := 0; i < n; i++ {
-								rt.plat.Spans.AddWait(trace.SpanID(dgs[i].Payload), trace.PhaseSNIC, shareWait(qw, n, i))
-							}
-							svc.dispatchBatch(p, dgs[:n])
+							rt.execBatchT(t, rt.udpCost(), n, func(qw time.Duration) {
+								for i := 0; i < n; i++ {
+									rt.plat.Spans.AddWait(trace.SpanID(dgs[i].Payload), trace.PhaseSNIC, shareWait(qw, n, i))
+								}
+								svc.dispatchBatchT(t, dgs[:n], loop)
+							})
 						}
+						gotBatch = func(n int) {
+							if win := batch.CoalesceWindow; win > 0 && n < quantum {
+								t.Sleep(win, func() {
+									for n < quantum {
+										dg, ok := svc.udpSock.TryRecv()
+										if !ok {
+											break
+										}
+										dgs[n] = dg
+										n++
+									}
+									process(n)
+								})
+								return
+							}
+							process(n)
+						}
+						loop = func() {
+							if n, ok := svc.udpSock.RecvBatchT(t, dgs, gotBatch); ok {
+								gotBatch(n)
+							}
+						}
+						loop()
 					})
 				}
 				continue
 			}
 			for w := 0; w < rt.plat.Workers; w++ {
-				s.Spawn(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(p *sim.Proc) {
-					for {
-						dg := svc.udpSock.Recv(p)
+				s.SpawnTask(fmt.Sprintf("lynx/udp-rx:%d/%d", svc.port, w), func(t *sim.Task) {
+					var loop func()
+					var handle func(dg netstack.Datagram)
+					handle = func(dg netstack.Datagram) {
 						id := trace.SpanID(dg.Payload)
-						now := p.Now()
+						now := t.Now()
 						rt.plat.Spans.Stamp(id, trace.StageSnicRecv, now)
 						if dg.EnqueuedAt > 0 {
 							rt.plat.Spans.AddWait(id, trace.PhaseNetwork, now.Sub(dg.EnqueuedAt))
 						}
-						qw := rt.exec(p, rt.udpCost())
-						rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
-						svc.dispatch(p, dg.Payload, replyTo{udpFrom: dg.From}, dg.From)
+						rt.execT(t, rt.udpCost(), func(qw time.Duration) {
+							rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
+							svc.dispatchT(t, dg.Payload, replyTo{udpFrom: dg.From}, dg.From, loop)
+						})
 					}
+					loop = func() {
+						if dg, ok := svc.udpSock.RecvT(t, handle); ok {
+							handle(dg)
+						}
+					}
+					loop()
 				})
 			}
 		case TCP:
@@ -1125,7 +1157,13 @@ func (rt *Runtime) Start() error {
 		}
 		for w := 0; w < nMgr; w++ {
 			w := w
-			s.Spawn(fmt.Sprintf("lynx/mq-manager:%s/%d", h.acc.Name(), w), func(p *sim.Proc) {
+			// The sweep is the hottest always-on process (it wakes for every
+			// accelerator response), so it runs on the run-to-completion Task
+			// substrate. The continuation chain performs exactly the
+			// operation sequence of the coroutine form it replaced: refresh,
+			// per-owned-queue drain loops, commit, watchdog, then block on
+			// the activity gate — so output stays byte-identical.
+			s.SpawnTask(fmt.Sprintf("lynx/mq-manager:%s/%d", h.acc.Name(), w), func(t *sim.Task) {
 				gate := h.group.ActivityGate()
 				// Watchdog state for the queues this context owns: the
 				// accelerator progress counters last observed and when they
@@ -1139,7 +1177,7 @@ func (rt *Runtime) Start() error {
 				}
 				health := make([]qhealth, h.group.Len())
 				for i := range health {
-					health[i].last = p.Now()
+					health[i].last = t.Now()
 				}
 				// TX batch drain: with batching configured, each ring visit
 				// pulls up to the CQ-drain budget of responses in one
@@ -1149,98 +1187,152 @@ func (rt *Runtime) Start() error {
 				if !batch.Unit() {
 					txBuf = make([]mqueue.TxMsg, batch.EffCQDrain())
 				}
-				for {
-					v := gate.Version()
-					h.group.Refresh(p)
-					drained := false
-					for i := w; i < h.group.Len(); i += nMgr {
-						q := h.group.Queue(i)
-						if txBuf != nil {
-							for q.Ready() {
-								k := q.PopTxMany(p, len(txBuf), txBuf)
-								if k == 0 {
-									break
-								}
-								drained = true
-								sk := sinks[i]
-								switch {
-								case sk.svc != nil:
-									sk.svc.forwardResponseBatch(p, sk.bq, txBuf[:k])
-								case sk.cb != nil:
-									for j := 0; j < k; j++ {
-										sk.cb.forwardOut(p, txBuf[j])
-									}
-								case sk.pl != nil:
-									for j := 0; j < k; j++ {
-										sk.pl.advance(p, sk.plStage, sk.pq, txBuf[j])
-									}
-								}
+				var (
+					sweep      func()
+					visit      func(i int)
+					drainQ     func(i int)
+					commit     func(i int)
+					afterSweep func()
+					v          uint64
+					drained    bool
+				)
+				sweep = func() {
+					v = gate.Version()
+					h.group.RefreshT(t, func() {
+						drained = false
+						visit(w)
+					})
+				}
+				visit = func(i int) {
+					if i >= h.group.Len() {
+						afterSweep()
+						return
+					}
+					drainQ(i)
+				}
+				drainQ = func(i int) {
+					q := h.group.Queue(i)
+					if !q.Ready() {
+						commit(i)
+						return
+					}
+					if txBuf != nil {
+						q.PopTxManyT(t, len(txBuf), txBuf, func(k int) {
+							if k == 0 {
+								commit(i)
+								return
 							}
-						} else {
-							for q.Ready() {
-								msg, ok := q.PopTx(p)
-								if !ok {
-									break
+							drained = true
+							sk := sinks[i]
+							switch {
+							case sk.svc != nil:
+								sk.svc.forwardResponseBatchT(t, sk.bq, txBuf[:k], func() { drainQ(i) })
+							case sk.cb != nil:
+								var fw func(j int)
+								fw = func(j int) {
+									if j >= k {
+										drainQ(i)
+										return
+									}
+									sk.cb.forwardOutT(t, txBuf[j], func() { fw(j + 1) })
 								}
-								drained = true
-								sk := sinks[i]
-								switch {
-								case sk.svc != nil:
-									sk.svc.forwardResponse(p, sk.bq, msg)
-								case sk.cb != nil:
-									sk.cb.forwardOut(p, msg)
-								case sk.pl != nil:
-									sk.pl.advance(p, sk.plStage, sk.pq, msg)
+								fw(0)
+							case sk.pl != nil:
+								var adv func(j int)
+								adv = func(j int) {
+									if j >= k {
+										drainQ(i)
+										return
+									}
+									sk.pl.advanceT(t, sk.plStage, sk.pq, txBuf[j], func() { adv(j + 1) })
 								}
+								adv(0)
+							default:
+								drainQ(i)
 							}
+						})
+						return
+					}
+					q.PopTxT(t, func(msg mqueue.TxMsg, ok bool) {
+						if !ok {
+							commit(i)
+							return
 						}
-						q.CommitTx(p)
+						drained = true
+						sk := sinks[i]
+						next := func() { drainQ(i) }
+						switch {
+						case sk.svc != nil:
+							sk.svc.forwardResponseT(t, sk.bq, msg, next)
+						case sk.cb != nil:
+							sk.cb.forwardOutT(t, msg, next)
+						case sk.pl != nil:
+							sk.pl.advanceT(t, sk.plStage, sk.pq, msg, next)
+						default:
+							next()
+						}
+					})
+				}
+				commit = func(i int) {
+					q := h.group.Queue(i)
+					q.CommitTxT(t, func() {
 						if wd <= 0 {
-							continue
+							visit(i + nMgr)
+							return
 						}
 						rxc, txs := q.Counters()
 						hs := &health[i]
 						switch {
 						case rxc != hs.rxc || txs != hs.txs || q.InFlight() == 0:
-							hs.rxc, hs.txs, hs.last = rxc, txs, p.Now()
+							hs.rxc, hs.txs, hs.last = rxc, txs, t.Now()
 							if bq := sinks[i].bq; bq != nil && bq.failed {
 								bq.failed = false
 								rt.stats.Failbacks++
-								rt.plat.Tracer.Emit(p.Now(), trace.Failover, uint64(i), 1)
+								rt.plat.Tracer.Emit(t.Now(), trace.Failover, uint64(i), 1)
 							}
-						case p.Now().Sub(hs.last) >= wd:
+						case t.Now().Sub(hs.last) >= wd:
 							if bq := sinks[i].bq; bq != nil && sinks[i].svc != nil && !bq.failed {
 								bq.failed = true
 								rt.stats.Failovers++
-								rt.plat.Tracer.Emit(p.Now(), trace.Failover, uint64(i), 0)
+								rt.plat.Tracer.Emit(t.Now(), trace.Failover, uint64(i), 0)
+							}
+						}
+						visit(i + nMgr)
+					})
+				}
+				afterSweep = func() {
+					if drained {
+						sweep()
+						return
+					}
+					// The real manager spins at MQPollInterval; the
+					// simulator blocks on header activity and re-adds
+					// the polling detection delay. While any owned
+					// queue holds in-flight work the wait is bounded by
+					// the watchdog timeout, so a fully stalled
+					// accelerator (which never fires the gate) still
+					// gets inspected.
+					stuck := false
+					if wd > 0 {
+						for i := w; i < h.group.Len(); i += nMgr {
+							if h.group.Queue(i).InFlight() > 0 {
+								stuck = true
+								break
 							}
 						}
 					}
-					if !drained {
-						// The real manager spins at MQPollInterval; the
-						// simulator blocks on header activity and re-adds
-						// the polling detection delay. While any owned
-						// queue holds in-flight work the wait is bounded by
-						// the watchdog timeout, so a fully stalled
-						// accelerator (which never fires the gate) still
-						// gets inspected.
-						stuck := false
-						if wd > 0 {
-							for i := w; i < h.group.Len(); i += nMgr {
-								if h.group.Queue(i).InFlight() > 0 {
-									stuck = true
-									break
-								}
-							}
+					poll := func() { t.Sleep(rt.plat.Params.MQPollInterval/2, sweep) }
+					if stuck {
+						if inline, _ := gate.WaitTimeoutT(t, v, wd, func(bool) { poll() }); inline {
+							poll()
 						}
-						if stuck {
-							gate.WaitTimeout(p, v, wd)
-						} else {
-							gate.Wait(p, v)
+					} else {
+						if gate.WaitT(t, v, poll) {
+							poll()
 						}
-						p.Sleep(rt.plat.Params.MQPollInterval / 2)
 					}
 				}
+				sweep()
 			})
 		}
 	}

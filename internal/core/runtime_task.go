@@ -1,0 +1,437 @@
+// Task-substrate forms of the runtime's hot-path stages. Each function here
+// is a continuation-passing port of its coroutine counterpart in runtime.go /
+// pipeline.go and must stay operation-for-operation identical to it: same
+// order of exec charges, span stamps, tracer emissions, counter updates, and
+// blocking-primitive calls, so that a run is byte-identical whichever
+// substrate hosts the stage (see the seq-parity contract in internal/sim).
+//
+// The always-on stages Start() hosts on Tasks are the UDP receive workers
+// (batched and unbatched) and the Remote MQ Manager sweep — the processes
+// that wake for every single message. Cold and connection-scoped paths
+// (TCP accept/rx, pipeline frontends, client bindings, retry timers) stay on
+// coroutine Procs.
+package core
+
+import (
+	"time"
+
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/rdma"
+	"lynx/internal/sim"
+	"lynx/internal/trace"
+)
+
+// execFrame carries one in-flight task-substrate exec call through its
+// serialized and parallel resource holds without per-call closures: the two
+// continuations are bound once when the frame is created, and the call's
+// (task, start time, shares, k) travel through the frame's fields. finish
+// copies everything to locals and recycles the frame before invoking k, so
+// an exec issued from inside k reuses it immediately.
+type execFrame struct {
+	rt    *Runtime
+	t     *sim.Task
+	t0    sim.Time
+	par   time.Duration // parallel share still to hold after the serial one
+	total time.Duration // busy total subtracted from elapsed to get the wait
+	k     func(qw time.Duration)
+
+	afterSerial func() // pre-bound f.holdCores
+	afterCores  func() // pre-bound f.finish
+}
+
+func (rt *Runtime) getExecFrame() *execFrame {
+	if n := len(rt.execFrames); n > 0 {
+		f := rt.execFrames[n-1]
+		rt.execFrames = rt.execFrames[:n-1]
+		return f
+	}
+	f := &execFrame{rt: rt}
+	f.afterSerial = f.holdCores
+	f.afterCores = f.finish
+	return f
+}
+
+func (f *execFrame) holdCores() {
+	f.rt.cores.WithT(f.t, f.par, f.afterCores)
+}
+
+func (f *execFrame) finish() {
+	rt, t, t0, total, k := f.rt, f.t, f.t0, f.total, f.k
+	f.t, f.k = nil, nil
+	rt.execFrames = append(rt.execFrames, f)
+	k(t.Now().Sub(t0) - total)
+}
+
+// execT is exec for tasks: k runs with the queueing wait once the serialized
+// and parallel shares have been held.
+func (rt *Runtime) execT(t *sim.Task, cost time.Duration, k func(qw time.Duration)) {
+	scaled := rt.plat.Machine.Scale(cost)
+	ser := time.Duration(float64(scaled) * rt.plat.Params.StackSerialFraction)
+	rt.cpuBusy += scaled
+	rt.serialBusy += ser
+	rt.execCalls++
+	f := rt.getExecFrame()
+	f.t, f.t0, f.par, f.total, f.k = t, t.Now(), scaled-ser, scaled, k
+	rt.serial.WithT(t, ser, f.afterSerial)
+}
+
+// execBatchT is execBatch for tasks.
+func (rt *Runtime) execBatchT(t *sim.Task, cost time.Duration, n int, k func(qw time.Duration)) {
+	if n <= 1 {
+		rt.execT(t, cost, k)
+		return
+	}
+	scaled := rt.plat.Machine.Scale(cost)
+	ser1 := time.Duration(float64(scaled) * rt.plat.Params.StackSerialFraction)
+	fixed := time.Duration(float64(ser1) * rt.plat.Params.SerialBatchFixed)
+	ser := fixed + time.Duration(n)*(ser1-fixed)
+	par := time.Duration(n) * (scaled - ser1)
+	rt.cpuBusy += ser + par
+	rt.serialBusy += ser
+	rt.execCalls += uint64(n)
+	f := rt.getExecFrame()
+	f.t, f.t0, f.par, f.total, f.k = t, t.Now(), par, ser+par, k
+	rt.serial.WithT(t, ser, f.afterSerial)
+}
+
+// execParallelT is execParallel for tasks: no serialized share, so the frame
+// skips straight to the cores hold.
+func (rt *Runtime) execParallelT(t *sim.Task, cost time.Duration, k func(qw time.Duration)) {
+	scaled := rt.plat.Machine.Scale(cost)
+	rt.cpuBusy += scaled
+	f := rt.getExecFrame()
+	f.t, f.t0, f.par, f.total, f.k = t, t.Now(), scaled, scaled, k
+	rt.cores.WithT(t, scaled, f.afterCores)
+}
+
+// dispatchT is Service.dispatch for tasks.
+func (s *Service) dispatchT(t *sim.Task, payload []byte, to replyTo, from netstack.Addr, k func()) {
+	rt := s.rt
+	rt.plat.Tracer.Emit(t.Now(), trace.Recv, uint64(len(payload)), uint64(s.port))
+	rt.execT(t, rt.plat.Params.DispatchCost, func(qw time.Duration) {
+		qi := s.policy.Pick(from, len(s.queues))
+		if s.queues[qi].failed {
+			for off := 1; off < len(s.queues); off++ {
+				if alt := (qi + off) % len(s.queues); !s.queues[alt].failed {
+					qi = alt
+					break
+				}
+			}
+		}
+		bq := s.queues[qi]
+		id := trace.SpanID(payload)
+		rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
+		rt.plat.Spans.Stamp(id, trace.StageDispatch, t.Now())
+		rt.plat.Spans.SetQueue(id, qi)
+		bq.q.PushT(t, payload, 0, func(slot int, err error) {
+			if err != nil {
+				cause := DropOverflow
+				if bq.failed {
+					cause = DropStalled
+				}
+				rt.drop(t.Now(), cause, uint64(qi))
+				rt.plat.Spans.Close(id, trace.SpanDropped, t.Now())
+				k()
+				return
+			}
+			rt.plat.Spans.Stamp(id, trace.StagePushed, t.Now())
+			bq.pending[slot] = append(bq.pending[slot], to)
+			rt.stats.Received++
+			rt.plat.Tracer.Emit(t.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+			k()
+		})
+	})
+}
+
+// dispatchBatchT is Service.dispatchBatch for tasks: the per-message
+// preparation loop is sequential (a refresh inside PrepareWriteT parks the
+// task and the loop resumes in its continuation), exactly as the coroutine
+// loop blocks mid-iteration.
+func (s *Service) dispatchBatchT(t *sim.Task, dgs []netstack.Datagram, k func()) {
+	rt := s.rt
+	n := len(dgs)
+	if n == 0 {
+		k()
+		return
+	}
+	for i := range dgs {
+		rt.plat.Tracer.Emit(t.Now(), trace.Recv, uint64(len(dgs[i].Payload)), uint64(s.port))
+	}
+	rt.execBatchT(t, rt.plat.Params.DispatchCost, n, func(qw time.Duration) {
+		type preparedWR struct {
+			wr rdma.WR
+			qp *rdma.QP
+		}
+		preps := make([]preparedWR, 0, n)
+		var prep func(i int)
+		post := func() {
+			batch := rt.plat.Params.Batch
+			wrs := make([]rdma.WR, 0, len(preps))
+			var postNext func()
+			postNext = func() {
+				if len(preps) == 0 {
+					k()
+					return
+				}
+				qp := preps[0].qp
+				wrs = wrs[:0]
+				rest := preps[:0]
+				for _, pr := range preps {
+					if pr.qp == qp {
+						wrs = append(wrs, pr.wr)
+					} else {
+						rest = append(rest, pr)
+					}
+				}
+				preps = rest
+				qp.PostAndWaitT(t, wrs, batch.EffDoorbell(), batch.EffCQDrain(), func(rdma.CQE) {
+					postNext()
+				})
+			}
+			postNext()
+		}
+		finish := func(i, qi int, bq *boundQueue, wr rdma.WR, slot int, err error) {
+			id := trace.SpanID(dgs[i].Payload)
+			if err != nil {
+				cause := DropOverflow
+				if bq.failed {
+					cause = DropStalled
+				}
+				rt.drop(t.Now(), cause, uint64(qi))
+				rt.plat.Spans.Close(id, trace.SpanDropped, t.Now())
+				return
+			}
+			bq.pending[slot] = append(bq.pending[slot], replyTo{udpFrom: dgs[i].From})
+			rt.stats.Received++
+			rt.plat.Tracer.Emit(t.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+			preps = append(preps, preparedWR{wr: wr, qp: bq.q.QP()})
+		}
+		prep = func(i int) {
+			for ; i < n; i++ {
+				payload := dgs[i].Payload
+				qi := s.policy.Pick(dgs[i].From, len(s.queues))
+				if s.queues[qi].failed {
+					for off := 1; off < len(s.queues); off++ {
+						if alt := (qi + off) % len(s.queues); !s.queues[alt].failed {
+							qi = alt
+							break
+						}
+					}
+				}
+				bq := s.queues[qi]
+				id := trace.SpanID(payload)
+				rt.plat.Spans.AddWait(id, trace.PhaseSNIC, shareWait(qw, n, i))
+				rt.plat.Spans.Stamp(id, trace.StageDispatch, t.Now())
+				rt.plat.Spans.SetQueue(id, qi)
+				i, qi, bq := i, qi, bq
+				wr, slot, err, inline := bq.q.PrepareWriteT(t, payload, 0, func(wr rdma.WR, slot int, err error) {
+					finish(i, qi, bq, wr, slot, err)
+					prep(i + 1)
+				})
+				if !inline {
+					return
+				}
+				finish(i, qi, bq, wr, slot, err)
+			}
+			post()
+		}
+		prep(0)
+	})
+}
+
+// forwardResponseT is Service.forwardResponse for tasks.
+func (s *Service) forwardResponseT(t *sim.Task, bq *boundQueue, msg mqueue.TxMsg, k func()) {
+	rt := s.rt
+	rt.plat.Tracer.Emit(t.Now(), trace.Drain, uint64(msg.Slot), uint64(msg.Corr))
+	id := trace.SpanID(msg.Payload)
+	rt.plat.Spans.Stamp(id, trace.StageDrain, t.Now())
+	rt.execT(t, rt.plat.Params.ForwardCost, func(qw time.Duration) {
+		fifo := bq.pending[msg.Corr]
+		if len(fifo) == 0 {
+			rt.plat.Check.Failf("core.orphan-response",
+				"service port %d: TX message for slot %d has no pending request", s.port, msg.Corr)
+			k()
+			return
+		}
+		to := fifo[0]
+		bq.pending[msg.Corr] = fifo[1:]
+		rt.inTransit++
+		finish := func(qw time.Duration) {
+			rt.stats.Responded++
+			rt.inTransit--
+			rt.plat.Spans.AddWait(id, trace.PhaseSNIC, qw)
+			rt.plat.Spans.Stamp(id, trace.StageForward, t.Now())
+			rt.plat.Tracer.Emit(t.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
+			k()
+		}
+		switch s.proto {
+		case UDP:
+			rt.execT(t, rt.udpCost(), func(qw2 time.Duration) {
+				s.udpSock.SendTo(to.udpFrom, msg.Payload)
+				finish(qw + qw2)
+			})
+		case TCP:
+			rt.execT(t, rt.tcpCost(), func(qw2 time.Duration) {
+				if to.conn != nil {
+					_ = to.conn.Send(nil, msg.Payload)
+				}
+				finish(qw + qw2)
+			})
+		}
+	})
+}
+
+// forwardResponseBatchT is Service.forwardResponseBatch for tasks.
+func (s *Service) forwardResponseBatchT(t *sim.Task, bq *boundQueue, msgs []mqueue.TxMsg, k func()) {
+	rt := s.rt
+	n := len(msgs)
+	if n == 0 {
+		k()
+		return
+	}
+	for i := range msgs {
+		rt.plat.Tracer.Emit(t.Now(), trace.Drain, uint64(msgs[i].Slot), uint64(msgs[i].Corr))
+		rt.plat.Spans.Stamp(trace.SpanID(msgs[i].Payload), trace.StageDrain, t.Now())
+	}
+	rt.execBatchT(t, rt.plat.Params.ForwardCost, n, func(qw time.Duration) {
+		var cost time.Duration
+		switch s.proto {
+		case UDP:
+			cost = rt.udpCost()
+		case TCP:
+			cost = rt.tcpCost()
+		}
+		rt.execBatchT(t, cost, n, func(qw2 time.Duration) {
+			qw += qw2
+			for i := range msgs {
+				msg := msgs[i]
+				id := trace.SpanID(msg.Payload)
+				fifo := bq.pending[msg.Corr]
+				if len(fifo) == 0 {
+					rt.plat.Check.Failf("core.orphan-response",
+						"service port %d: TX message for slot %d has no pending request", s.port, msg.Corr)
+					continue
+				}
+				to := fifo[0]
+				bq.pending[msg.Corr] = fifo[1:]
+				rt.inTransit++
+				switch s.proto {
+				case UDP:
+					s.udpSock.SendTo(to.udpFrom, msg.Payload)
+				case TCP:
+					if to.conn != nil {
+						_ = to.conn.Send(nil, msg.Payload)
+					}
+				}
+				rt.stats.Responded++
+				rt.inTransit--
+				rt.plat.Spans.AddWait(id, trace.PhaseSNIC, shareWait(qw, n, i))
+				rt.plat.Spans.Stamp(id, trace.StageForward, t.Now())
+				rt.plat.Tracer.Emit(t.Now(), trace.Forward, uint64(len(msg.Payload)), 0)
+			}
+			k()
+		})
+	})
+}
+
+// forwardOutT is ClientBinding.forwardOut for tasks.
+func (cb *ClientBinding) forwardOutT(t *sim.Task, msg mqueue.TxMsg, k func()) {
+	rt := cb.rt
+	rt.plat.Tracer.Emit(t.Now(), trace.BackendOut, uint64(len(msg.Payload)), uint64(cb.qi))
+	rt.plat.Spans.Stamp(trace.SpanID(msg.Payload), trace.StageBackendOut, t.Now())
+	rt.execParallelT(t, rt.plat.Params.ForwardCost, func(time.Duration) {
+		rt.stats.Forwarded++
+		switch cb.proto {
+		case UDP:
+			rt.execParallelT(t, rt.udpCost(), func(time.Duration) {
+				cb.sock.SendTo(cb.dst, msg.Payload)
+				if rt.plat.Params.ClientRetryMax > 0 && rt.plat.Params.ClientRetryTimeout > 0 {
+					cb.outstanding = append(cb.outstanding, pendingSend{
+						payload:  msg.Payload,
+						deadline: t.Now().Add(rt.plat.Params.ClientRetryTimeout),
+					})
+				}
+				k()
+			})
+		case TCP:
+			rt.execParallelT(t, rt.tcpCost(), func(time.Duration) {
+				if cb.conn != nil {
+					if err := cb.conn.Send(nil, msg.Payload); err != nil {
+						cb.bq.q.PushT(t, nil, 1, func(int, error) { k() })
+						return
+					}
+				}
+				k()
+			})
+		}
+	})
+}
+
+// pushStageT is Pipeline.pushStage for tasks.
+func (pl *Pipeline) pushStageT(t *sim.Task, stage int, payload []byte, to replyTo, k func()) {
+	rt := pl.rt
+	queues := pl.stages[stage]
+	pq := queues[pl.policy.Pick(netstack.Addr{}, len(queues))]
+	pq.q.PushT(t, payload, 0, func(slot int, err error) {
+		if err != nil {
+			rt.drop(t.Now(), DropOverflow, uint64(stage))
+			k()
+			return
+		}
+		pq.pending[slot] = append(pq.pending[slot], to)
+		if stage == 0 {
+			rt.stats.Received++
+		}
+		k()
+	})
+}
+
+// advanceT is Pipeline.advance for tasks.
+func (pl *Pipeline) advanceT(t *sim.Task, stage int, pq *pipeQueue, msg mqueue.TxMsg, k func()) {
+	rt := pl.rt
+	fifo := pq.pending[msg.Corr]
+	if len(fifo) == 0 {
+		rt.plat.Check.Failf("core.orphan-response",
+			"pipeline port %d stage %d: TX message for slot %d has no pending request",
+			pl.port, stage, msg.Corr)
+		k()
+		return
+	}
+	to := fifo[0]
+	pq.pending[msg.Corr] = fifo[1:]
+	rt.inTransit++
+	if stage+1 < len(pl.stages) {
+		rt.execT(t, rt.plat.Params.DispatchCost, func(time.Duration) {
+			pl.relayed++
+			rt.plat.Tracer.Emit(t.Now(), trace.Relay, uint64(stage+1), 0)
+			pl.pushStageT(t, stage+1, msg.Payload, to, func() {
+				rt.inTransit--
+				k()
+			})
+		})
+		return
+	}
+	rt.execT(t, rt.plat.Params.ForwardCost, func(time.Duration) {
+		var cost time.Duration
+		switch pl.proto {
+		case UDP:
+			cost = rt.udpCost()
+		case TCP:
+			cost = rt.tcpCost()
+		}
+		rt.execT(t, cost, func(time.Duration) {
+			switch pl.proto {
+			case UDP:
+				pl.udpSock.SendTo(to.udpFrom, msg.Payload)
+			case TCP:
+				if to.conn != nil {
+					_ = to.conn.Send(nil, msg.Payload)
+				}
+			}
+			rt.stats.Responded++
+			rt.inTransit--
+			k()
+		})
+	})
+}

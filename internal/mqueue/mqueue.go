@@ -252,6 +252,64 @@ func (q *Queue) Push(p *sim.Proc, payload []byte, errStatus byte) (int, error) {
 // several queues under one doorbell.
 func (q *Queue) QP() *rdma.QP { return q.qp }
 
+// PushT is Push for run-to-completion tasks: k runs with the slot used (or
+// the error) once the message-bearing writes complete. Flow control, slot
+// reservation before any yield, checking and stamping match Push operation
+// for operation, so a ported caller produces byte-identical output. k runs
+// inline only on immediate validation failure.
+func (q *Queue) PushT(t *sim.Task, payload []byte, errStatus byte, k func(slot int, err error)) {
+	if len(payload) > q.cfg.MaxPayload() {
+		k(0, fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), q.cfg.MaxPayload()))
+		return
+	}
+	if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+		q.RefreshT(t, func() {
+			if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+				q.full++
+				k(0, ErrQueueFull)
+				return
+			}
+			q.pushSlotT(t, payload, errStatus, k)
+		})
+		return
+	}
+	q.pushSlotT(t, payload, errStatus, k)
+}
+
+// pushSlotT reserves the next RX slot and issues the mode-dependent write
+// chain (the post-flow-control body of Push, in continuation-passing form).
+func (q *Queue) pushSlotT(t *sim.Task, payload []byte, errStatus byte, k func(slot int, err error)) {
+	slot := int(q.rxHead % uint64(q.cfg.Slots))
+	q.rxHead++
+	if ck := q.cfg.Check; ck.Enabled() && q.rxHead-q.rxConsumed > uint64(q.cfg.Slots) {
+		ck.Failf("mqueue.ring-bound", "RX overcommit: head %d consumed %d slots %d",
+			q.rxHead, q.rxConsumed, q.cfg.Slots)
+	}
+	off := q.lay.rxSlot(q.cfg, slot)
+	stamp := q.stampPushed(payload)
+	done := func(rdma.CQE) {
+		q.pushed++
+		k(slot, nil)
+	}
+	switch {
+	case q.cfg.Barrier:
+		buf := buildSlot(payload, errStatus, 0, 0)
+		q.qp.WriteT(t, q.region, off+offError, buf[offError:], func(rdma.CQE) {
+			q.qp.BarrierT(t, q.region, func() {
+				q.qp.WriteNotifyT(t, q.region, off+offDoorbell, []byte{1}, stamp, done)
+			})
+		})
+	case q.cfg.NoCoalesce:
+		buf := buildSlot(payload, errStatus, 0, 0)
+		q.qp.WriteT(t, q.region, off+offError, buf[offError:], func(rdma.CQE) {
+			q.qp.WriteNotifyT(t, q.region, off+offDoorbell, []byte{1}, stamp, done)
+		})
+	default:
+		buf := buildSlot(payload, errStatus, 0, 1)
+		q.qp.WriteNotifyT(t, q.region, off, buf, stamp, done)
+	}
+}
+
 // PrepareWrite reserves the next RX slot and returns the coalesced work
 // request that delivers payload into it, without posting. Callers collect
 // WRs from several PrepareWrite calls — across all queues of a group, which
@@ -290,6 +348,52 @@ func (q *Queue) PrepareWrite(p *sim.Proc, payload []byte, errStatus byte) (rdma.
 		Data:      buildSlot(payload, errStatus, 0, 1),
 		OnDeliver: q.stampPushed(payload),
 	}, slot, nil
+}
+
+// PrepareWriteT is PrepareWrite for tasks. When no header refresh is needed
+// (the common case — the ring has known free slots) the WR returns inline
+// with ok=true and k never runs; otherwise the task parks in the refresh and
+// k runs with the result. Reservation and checks match PrepareWrite exactly.
+func (q *Queue) PrepareWriteT(t *sim.Task, payload []byte, errStatus byte, k func(rdma.WR, int, error)) (rdma.WR, int, error, bool) {
+	if q.cfg.Barrier || q.cfg.NoCoalesce {
+		return rdma.WR{}, 0, fmt.Errorf("mqueue: PrepareWrite requires coalesced mode"), true
+	}
+	if len(payload) > q.cfg.MaxPayload() {
+		return rdma.WR{}, 0, fmt.Errorf("mqueue: payload %d exceeds slot capacity %d", len(payload), q.cfg.MaxPayload()), true
+	}
+	if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+		q.RefreshT(t, func() {
+			if q.rxHead-q.rxConsumed >= uint64(q.cfg.Slots) {
+				q.full++
+				k(rdma.WR{}, 0, ErrQueueFull)
+				return
+			}
+			wr, slot := q.reserveWrite(payload, errStatus)
+			k(wr, slot, nil)
+		})
+		return rdma.WR{}, 0, nil, false
+	}
+	wr, slot := q.reserveWrite(payload, errStatus)
+	return wr, slot, nil, true
+}
+
+// reserveWrite reserves the next RX slot and builds its coalesced WR (the
+// non-blocking tail of PrepareWrite).
+func (q *Queue) reserveWrite(payload []byte, errStatus byte) (rdma.WR, int) {
+	slot := int(q.rxHead % uint64(q.cfg.Slots))
+	q.rxHead++
+	if ck := q.cfg.Check; ck.Enabled() && q.rxHead-q.rxConsumed > uint64(q.cfg.Slots) {
+		ck.Failf("mqueue.ring-bound", "RX overcommit: head %d consumed %d slots %d",
+			q.rxHead, q.rxConsumed, q.cfg.Slots)
+	}
+	q.pushed++
+	return rdma.WR{
+		Op:        rdma.OpWrite,
+		Region:    q.region,
+		Offset:    q.lay.rxSlot(q.cfg, slot),
+		Data:      buildSlot(payload, errStatus, 0, 1),
+		OnDeliver: q.stampPushed(payload),
+	}, slot
 }
 
 // stampPushed returns the OnDeliver hook stamping StagePushed for payload's
@@ -340,6 +444,15 @@ func (q *Queue) PushAsync(p *sim.Proc, payload []byte, errStatus byte) (int, err
 func (q *Queue) Refresh(p *sim.Proc) {
 	raw := q.qp.Read(p, q.region, q.lay.hdr, 16)
 	q.absorbHeader(raw)
+}
+
+// RefreshT is Refresh for tasks: k runs once the header read lands and the
+// cached counters are updated.
+func (q *Queue) RefreshT(t *sim.Task, k func()) {
+	q.qp.ReadT(t, q.region, q.lay.hdr, 16, func(raw []byte) {
+		q.absorbHeader(raw)
+		k()
+	})
 }
 
 // absorbHeader ingests the accelerator-written half of a header block.
@@ -416,6 +529,43 @@ func (q *Queue) PopTx(p *sim.Proc) (TxMsg, bool) {
 	return TxMsg{Payload: payload, Err: raw[offError], Corr: corr, Slot: slot}, true
 }
 
+// PopTxT is PopTx for tasks: k runs with the drained message. k runs inline
+// (with ok=false) only when the cached counters show nothing ready.
+func (q *Queue) PopTxT(t *sim.Task, k func(TxMsg, bool)) {
+	if !q.Ready() {
+		k(TxMsg{}, false)
+		return
+	}
+	drainStart := t.Now()
+	slot := int(q.txTail % uint64(q.cfg.Slots))
+	off := q.lay.txSlot(q.cfg, slot)
+	q.qp.ReadT(t, q.region, off, q.cfg.SlotSize, func(raw []byte) {
+		if raw[offDoorbell] == 0 {
+			q.cfg.Check.Failf("mqueue.doorbell-miss",
+				"TX slot %d counted ready (seen %d, drained %d) but doorbell clear", slot, q.txSeen, q.txTail)
+			k(TxMsg{}, false)
+			return
+		}
+		size := int(raw[offSize]) | int(raw[offSize+1])<<8
+		corr := uint16(raw[offCorr]) | uint16(raw[offCorr+1])<<8
+		if size > q.cfg.MaxPayload() {
+			size = q.cfg.MaxPayload()
+		}
+		payload := make([]byte, size)
+		copy(payload, raw[HeaderBytes:HeaderBytes+size])
+		q.txTail++
+		q.txDirty = true
+		q.polled++
+		if sp := q.cfg.Spans; sp != nil {
+			id := trace.SpanID(payload)
+			if sentAt, ok := sp.StampAt(id, trace.StageAccelSent); ok {
+				sp.AddWait(id, trace.PhaseQueueing, drainStart.Sub(sentAt))
+			}
+		}
+		k(TxMsg{Payload: payload, Err: raw[offError], Corr: corr, Slot: slot}, true)
+	})
+}
+
 // PopTxMany drains up to budget TX messages with a single RDMA READ spanning
 // the contiguous run of ready slots, storing them into out and returning the
 // count. The run stops at the ring wrap (the next call picks up the
@@ -468,6 +618,56 @@ func (q *Queue) PopTxMany(p *sim.Proc, budget int, out []TxMsg) int {
 	return budget
 }
 
+// PopTxManyT is PopTxMany for tasks: k runs with the number of messages
+// stored into out. k runs inline (with 0) only when nothing is ready.
+func (q *Queue) PopTxManyT(t *sim.Task, budget int, out []TxMsg, k func(n int)) {
+	if budget > len(out) {
+		budget = len(out)
+	}
+	if backlog := q.TxBacklog(); budget > backlog {
+		budget = backlog
+	}
+	first := int(q.txTail % uint64(q.cfg.Slots))
+	if run := q.cfg.Slots - first; budget > run {
+		budget = run
+	}
+	if budget <= 0 {
+		k(0)
+		return
+	}
+	drainStart := t.Now()
+	q.qp.ReadT(t, q.region, q.lay.txSlot(q.cfg, first), budget*q.cfg.SlotSize, func(raw []byte) {
+		for i := 0; i < budget; i++ {
+			sraw := raw[i*q.cfg.SlotSize:]
+			if sraw[offDoorbell] == 0 {
+				q.cfg.Check.Failf("mqueue.doorbell-miss",
+					"TX slot %d counted ready (seen %d, drained %d) but doorbell clear",
+					first+i, q.txSeen, q.txTail)
+				k(i)
+				return
+			}
+			size := int(sraw[offSize]) | int(sraw[offSize+1])<<8
+			corr := uint16(sraw[offCorr]) | uint16(sraw[offCorr+1])<<8
+			if size > q.cfg.MaxPayload() {
+				size = q.cfg.MaxPayload()
+			}
+			payload := make([]byte, size)
+			copy(payload, sraw[HeaderBytes:HeaderBytes+size])
+			q.txTail++
+			q.txDirty = true
+			q.polled++
+			if sp := q.cfg.Spans; sp != nil {
+				id := trace.SpanID(payload)
+				if sentAt, ok := sp.StampAt(id, trace.StageAccelSent); ok {
+					sp.AddWait(id, trace.PhaseQueueing, drainStart.Sub(sentAt))
+				}
+			}
+			out[i] = TxMsg{Payload: payload, Err: sraw[offError], Corr: corr, Slot: first + i}
+		}
+		k(budget)
+	})
+}
+
 // CommitTx publishes the drained-TX counter to the accelerator (one RDMA
 // WRITE), releasing the slots for reuse. No-op when nothing was drained
 // since the last commit.
@@ -479,6 +679,21 @@ func (q *Queue) CommitTx(p *sim.Proc) {
 	putLeUint64(buf[:], q.txTail)
 	q.qp.Write(p, q.region, q.lay.hdr+hdrTxConsumed, buf[:])
 	q.txDirty = false
+}
+
+// CommitTxT is CommitTx for tasks: k runs once the counter write completes.
+// k runs inline when nothing was drained since the last commit.
+func (q *Queue) CommitTxT(t *sim.Task, k func()) {
+	if !q.txDirty {
+		k()
+		return
+	}
+	var buf [8]byte
+	putLeUint64(buf[:], q.txTail)
+	q.qp.WriteT(t, q.region, q.lay.hdr+hdrTxConsumed, buf[:], func(rdma.CQE) {
+		q.txDirty = false
+		k()
+	})
 }
 
 // Poll is the standalone-queue convenience: refresh if idle, drain one
@@ -579,6 +794,18 @@ func (g *Group) Refresh(p *sim.Proc) {
 		q.absorbHeader(raw[i*QueueHeaderBytes:])
 	}
 	g.refreshes++
+}
+
+// RefreshT is Refresh for tasks: one RDMA READ covers every queue header in
+// the group; k runs once all cached counters are updated.
+func (g *Group) RefreshT(t *sim.Task, k func()) {
+	g.qp.ReadT(t, g.region, g.base, len(g.queues)*QueueHeaderBytes, func(raw []byte) {
+		for i, q := range g.queues {
+			q.absorbHeader(raw[i*QueueHeaderBytes:])
+		}
+		g.refreshes++
+		k()
+	})
 }
 
 // Refreshes reports header-block reads performed.

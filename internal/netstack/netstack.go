@@ -325,6 +325,19 @@ func (s *UDPSocket) RecvBatch(p *sim.Proc, buf []Datagram) int {
 	return s.rxq.GetBatch(p, buf)
 }
 
+// RecvT is Recv for tasks: reports (dg, true) when a datagram was already
+// queued (continuation NOT called — caller continues inline), else parks the
+// task and fn runs when one arrives.
+func (s *UDPSocket) RecvT(t *sim.Task, fn func(Datagram)) (Datagram, bool) {
+	return s.rxq.GetT(t, fn)
+}
+
+// RecvBatchT is RecvBatch for tasks, with the same inline-return convention
+// as RecvT: (n, true) means n datagrams were stored inline.
+func (s *UDPSocket) RecvBatchT(t *sim.Task, buf []Datagram, fn func(int)) (int, bool) {
+	return s.rxq.GetBatchT(t, buf, fn)
+}
+
 // TryRecv polls for a datagram without blocking.
 func (s *UDPSocket) TryRecv() (Datagram, bool) { return s.rxq.TryGet() }
 

@@ -143,7 +143,15 @@ type QP struct {
 	hw       bool
 	sq       *sim.Chan[WR]
 	cq       *sim.Chan[CQE]
+	cur      WR // WR between dequeue and engine stage of the run task
 	inflight []*inflightWR
+	inflHead int
+
+	// flFree and replyFree recycle inflight nodes and reply channels so the
+	// per-operation hot path allocates nothing once warm. Recycling changes
+	// no scheduling decision — only where the bookkeeping structs live.
+	flFree    []*inflightWR
+	replyFree []*sim.Chan[CQE]
 
 	credits  int // UC receive credits
 	dropped  uint64
@@ -187,82 +195,149 @@ func (e *Engine) CreateQP(target *fabric.Device, cfg QPConfig) *QP {
 		qp.remote = e.params.RDMARemotePenalty
 	}
 	e.qps++
-	e.sim.Spawn("rdma-qp/"+target.Name(), func(p *sim.Proc) { qp.run(p) })
+	e.sim.SpawnTask("rdma-qp/"+target.Name(), func(t *sim.Task) { qp.run(t) })
 	return qp
 }
 
 // inflightWR tracks one WR between engine processing and wire completion.
+// Nodes are recycled through QP.flFree; onWire is the node's reusable
+// wire-completion thunk, bound once and kept across the free list.
 type inflightWR struct {
-	wr   WR
-	cqe  CQE
-	done bool
+	qp     *QP
+	wr     WR
+	cqe    CQE
+	done   bool
+	onWire func()
 }
 
-// run is the QP's engine context. WQEs are processed in order, each holding
-// the engine pipeline only for its per-WQE processing time; wire transit
-// overlaps across outstanding WRs (real NICs keep many requests in flight).
-// Completions are still delivered strictly in posting order (RC semantics).
-func (qp *QP) run(p *sim.Proc) {
+// getInflight takes a tracking node for wr, reusing a free-listed one.
+func (qp *QP) getInflight(wr WR) *inflightWR {
+	if n := len(qp.flFree); n > 0 {
+		fl := qp.flFree[n-1]
+		qp.flFree[n-1] = nil
+		qp.flFree = qp.flFree[:n-1]
+		fl.wr = wr
+		fl.cqe = CQE{ID: wr.ID, Op: wr.Op}
+		fl.done = false
+		return fl
+	}
+	fl := &inflightWR{qp: qp, wr: wr, cqe: CQE{ID: wr.ID, Op: wr.Op}}
+	fl.onWire = fl.wireDone
+	return fl
+}
+
+// wireDone runs at the simulated instant the WR's wire transfer completes:
+// the data movement side effect, then in-order completion delivery.
+func (fl *inflightWR) wireDone() {
+	switch fl.wr.Op {
+	case OpWrite:
+		fl.wr.Region.WriteDMA(fl.wr.Offset, fl.wr.Data)
+		if fl.wr.OnDeliver != nil {
+			fl.wr.OnDeliver(fl.qp.engine.sim.Now())
+		}
+	case OpRead:
+		fl.cqe.Data = fl.wr.Region.ReadDMA(fl.wr.Offset, fl.wr.Len)
+	case OpBarrier:
+		fl.wr.Region.Flush()
+	}
+	fl.qp.finish(fl)
+}
+
+// getReply takes a reply channel from the QP's pool. Reply channels only ever
+// hold buffered completions (TryPut by finish, Get/GetT by the poster), so an
+// unbounded recycled channel behaves identically to a fresh exact-capacity
+// one.
+func (qp *QP) getReply() *sim.Chan[CQE] {
+	if n := len(qp.replyFree); n > 0 {
+		c := qp.replyFree[n-1]
+		qp.replyFree[n-1] = nil
+		qp.replyFree = qp.replyFree[:n-1]
+		return c
+	}
+	return sim.NewChan[CQE](qp.engine.sim, 0)
+}
+
+// putReply returns a drained reply channel to the pool.
+func (qp *QP) putReply(c *sim.Chan[CQE]) { qp.replyFree = append(qp.replyFree, c) }
+
+// run is the QP's engine context, hosted on the run-to-completion task
+// substrate (every RDMA operation in the system crosses this loop, making it
+// one of the hottest processes in a run). WQEs are processed in order, each
+// holding the engine pipeline only for its per-WQE processing time; wire
+// transit overlaps across outstanding WRs (real NICs keep many requests in
+// flight). Completions are still delivered strictly in posting order (RC
+// semantics). The loop's continuations are bound once per QP, so the
+// per-WQE scheduler cost is events only — no goroutine handoffs, no
+// per-iteration closures.
+func (qp *QP) run(t *sim.Task) {
 	e := qp.engine
-	for {
-		wr := qp.sq.Get(p)
-		e.pipe.Acquire(p)
-		p.Sleep(e.params.RDMAEngine)
+	var loop, acquired, engineDone func()
+	var onWR func(WR)
+	onWR = func(wr WR) {
+		qp.cur = wr
+		if e.pipe.AcquireT(t, acquired) {
+			acquired()
+		}
+	}
+	acquired = func() { t.Sleep(e.params.RDMAEngine, engineDone) }
+	engineDone = func() {
 		e.ops++
 		e.pipe.Release()
-		fl := &inflightWR{wr: wr, cqe: CQE{ID: wr.ID, Op: wr.Op}}
-		qp.inflight = append(qp.inflight, fl)
-		// Fault plan: a completion error is retried by the RC transport
-		// (go-back-N), surfacing as extra latency and a flagged CQE; latency
-		// spikes add transit without a retry.
-		perturb, errored := e.faults.RDMAPerturb()
-		if errored {
-			e.retried++
-			fl.cqe.Retried = true
+		qp.process(qp.cur)
+		loop()
+	}
+	loop = func() {
+		if wr, ok := qp.sq.GetT(t, onWR); ok {
+			onWR(wr)
 		}
-		switch wr.Op {
-		case OpWrite:
-			if qp.kind == UC && qp.credits <= 0 {
-				qp.dropped++
-				fl.cqe.Dropped = true
-				qp.finish(fl)
-				continue
-			}
-			if qp.kind == UC {
-				qp.credits--
-			}
-			transit := qp.remote + e.fab.TransferTime(e.nic, qp.target, len(wr.Data)) + perturb
-			e.sim.After(transit, func() {
-				fl.wr.Region.WriteDMA(fl.wr.Offset, fl.wr.Data)
-				if fl.wr.OnDeliver != nil {
-					fl.wr.OnDeliver(e.sim.Now())
-				}
-				qp.finish(fl)
-			})
-		case OpRead:
-			transit := 2*qp.remote + e.fab.TransferTime(e.nic, qp.target, 32) +
-				e.fab.TransferTime(qp.target, e.nic, wr.Len) + perturb
-			e.sim.After(transit, func() {
-				fl.cqe.Data = fl.wr.Region.ReadDMA(fl.wr.Offset, fl.wr.Len)
-				qp.finish(fl)
-			})
-		case OpBarrier:
-			// The barrier read cannot be pipelined behind other traffic;
-			// the paper measures ~5 µs for the full workaround (this read
-			// plus the uncoalesced doorbell write).
-			transit := 2*qp.remote + e.fab.TransferTime(e.nic, qp.target, 32) +
-				e.fab.TransferTime(qp.target, e.nic, 8)
-			// Aim the barrier's total at RDMAReadBarrier minus the
-			// uncoalesced doorbell write it forces (~1.5 µs).
-			if pad := e.params.RDMAReadBarrier - 1500*time.Nanosecond - transit - e.params.RDMAIssue - e.params.RDMAEngine; pad > 0 {
-				transit += pad
-			}
-			transit += perturb
-			e.sim.After(transit, func() {
-				fl.wr.Region.Flush()
-				qp.finish(fl)
-			})
+	}
+	loop()
+}
+
+// process runs a WQE's post-engine stage: fault perturbation, transfer
+// scheduling, and in-order completion delivery.
+func (qp *QP) process(wr WR) {
+	e := qp.engine
+	fl := qp.getInflight(wr)
+	qp.inflight = append(qp.inflight, fl)
+	// Fault plan: a completion error is retried by the RC transport
+	// (go-back-N), surfacing as extra latency and a flagged CQE; latency
+	// spikes add transit without a retry.
+	perturb, errored := e.faults.RDMAPerturb()
+	if errored {
+		e.retried++
+		fl.cqe.Retried = true
+	}
+	switch wr.Op {
+	case OpWrite:
+		if qp.kind == UC && qp.credits <= 0 {
+			qp.dropped++
+			fl.cqe.Dropped = true
+			qp.finish(fl)
+			return
 		}
+		if qp.kind == UC {
+			qp.credits--
+		}
+		transit := qp.remote + e.fab.TransferTime(e.nic, qp.target, len(wr.Data)) + perturb
+		e.sim.After(transit, fl.onWire)
+	case OpRead:
+		transit := 2*qp.remote + e.fab.TransferTime(e.nic, qp.target, 32) +
+			e.fab.TransferTime(qp.target, e.nic, wr.Len) + perturb
+		e.sim.After(transit, fl.onWire)
+	case OpBarrier:
+		// The barrier read cannot be pipelined behind other traffic;
+		// the paper measures ~5 µs for the full workaround (this read
+		// plus the uncoalesced doorbell write).
+		transit := 2*qp.remote + e.fab.TransferTime(e.nic, qp.target, 32) +
+			e.fab.TransferTime(qp.target, e.nic, 8)
+		// Aim the barrier's total at RDMAReadBarrier minus the
+		// uncoalesced doorbell write it forces (~1.5 µs).
+		if pad := e.params.RDMAReadBarrier - 1500*time.Nanosecond - transit - e.params.RDMAIssue - e.params.RDMAEngine; pad > 0 {
+			transit += pad
+		}
+		transit += perturb
+		e.sim.After(transit, fl.onWire)
 	}
 }
 
@@ -271,9 +346,10 @@ func (qp *QP) run(p *sim.Proc) {
 func (qp *QP) finish(fl *inflightWR) {
 	fl.done = true
 	fl.cqe.At = qp.engine.sim.Now()
-	for len(qp.inflight) > 0 && qp.inflight[0].done {
-		head := qp.inflight[0]
-		qp.inflight = qp.inflight[1:]
+	for qp.inflHead < len(qp.inflight) && qp.inflight[qp.inflHead].done {
+		head := qp.inflight[qp.inflHead]
+		qp.inflight[qp.inflHead] = nil
+		qp.inflHead++
 		qp.complete++
 		switch {
 		case head.wr.reply != nil:
@@ -285,6 +361,22 @@ func (qp *QP) finish(fl *inflightWR) {
 		default:
 			qp.cq.TryPut(head.cqe)
 		}
+		// The CQE escaped by value; drop the node's references and recycle.
+		head.wr = WR{}
+		head.cqe = CQE{}
+		qp.flFree = append(qp.flFree, head)
+	}
+	if qp.inflHead == len(qp.inflight) {
+		qp.inflight, qp.inflHead = qp.inflight[:0], 0
+	} else if qp.inflHead > 32 && qp.inflHead*2 >= len(qp.inflight) {
+		// Queue stays non-empty under continuous load: compact (amortized
+		// O(1)) so the backing array stays bounded.
+		n := copy(qp.inflight, qp.inflight[qp.inflHead:])
+		for i := n; i < len(qp.inflight); i++ {
+			qp.inflight[i] = nil
+		}
+		qp.inflight = qp.inflight[:n]
+		qp.inflHead = 0
 	}
 }
 
@@ -337,7 +429,7 @@ func (qp *QP) PostAndWait(p *sim.Proc, wrs []WR, doorbell, cqDrain int) CQE {
 		cqDrain = 1
 	}
 	checkpoints := 0
-	reply := sim.NewChan[CQE](qp.engine.sim, (n+cqDrain-1)/cqDrain)
+	reply := qp.getReply()
 	for i := range wrs {
 		if (i+1)%cqDrain == 0 || i == n-1 {
 			wrs[i].reply = reply
@@ -357,6 +449,7 @@ func (qp *QP) PostAndWait(p *sim.Proc, wrs []WR, doorbell, cqDrain int) CQE {
 	for i := 0; i < checkpoints; i++ {
 		last = reply.Get(p)
 	}
+	qp.putReply(reply)
 	return last
 }
 
@@ -390,16 +483,20 @@ func (qp *QP) Write(p *sim.Proc, region *memdev.Region, off int, data []byte) CQ
 // additionally invoking onDeliver (when non-nil) at the simulated instant
 // the data lands in the target region, before the completion returns.
 func (qp *QP) WriteNotify(p *sim.Proc, region *memdev.Region, off int, data []byte, onDeliver func(at sim.Time)) CQE {
-	reply := sim.NewChan[CQE](qp.engine.sim, 1)
+	reply := qp.getReply()
 	qp.Post(p, WR{Op: OpWrite, Region: region, Offset: off, Data: data, OnDeliver: onDeliver, reply: reply})
-	return reply.Get(p)
+	cqe := reply.Get(p)
+	qp.putReply(reply)
+	return cqe
 }
 
 // Read performs a blocking one-sided RDMA READ of n bytes.
 func (qp *QP) Read(p *sim.Proc, region *memdev.Region, off, n int) []byte {
-	reply := sim.NewChan[CQE](qp.engine.sim, 1)
+	reply := qp.getReply()
 	qp.Post(p, WR{Op: OpRead, Region: region, Offset: off, Len: n, reply: reply})
-	return reply.Get(p).Data
+	cqe := reply.Get(p)
+	qp.putReply(reply)
+	return cqe.Data
 }
 
 // Barrier performs the blocking RDMA-read write barrier of §5.1, forcing
@@ -409,9 +506,168 @@ func (qp *QP) Read(p *sim.Proc, region *memdev.Region, off, n int) []byte {
 // message needs three transactions instead of one) the total overhead comes
 // to the ~5 µs per message the paper measures.
 func (qp *QP) Barrier(p *sim.Proc, region *memdev.Region) {
-	reply := sim.NewChan[CQE](qp.engine.sim, 1)
+	reply := qp.getReply()
 	qp.Post(p, WR{Op: OpBarrier, Region: region, reply: reply})
 	reply.Get(p)
+	qp.putReply(reply)
+}
+
+// ---------------------------------------------------------------------------
+// Task-form (continuation-passing) posting API. Each method performs the
+// exact same sequence of scheduler operations as its Proc counterpart, so a
+// caller ported from one substrate to the other produces byte-identical
+// virtual-time results.
+
+// PostT is Post for run-to-completion tasks: k runs once the WR has entered
+// the send queue (after the CPU-side issue cost, unless hardware driven).
+func (qp *QP) PostT(t *sim.Task, wr WR, k func()) {
+	if qp.hw {
+		qp.posted++
+		if qp.sq.PutT(t, wr, k) {
+			k()
+		}
+		return
+	}
+	t.Sleep(qp.engine.params.RDMAIssue, func() {
+		qp.posted++
+		if qp.sq.PutT(t, wr, k) {
+			k()
+		}
+	})
+}
+
+// PostManyT is PostMany for tasks: one issue cost for the whole group, then
+// the WRs enter the send queue in order; k runs when all are enqueued.
+func (qp *QP) PostManyT(t *sim.Task, wrs []WR, k func()) {
+	if len(wrs) == 0 {
+		k()
+		return
+	}
+	if qp.hw {
+		qp.postAllT(t, wrs, k)
+		return
+	}
+	t.Sleep(qp.engine.params.RDMAIssue, func() { qp.postAllT(t, wrs, k) })
+}
+
+// postAllT enqueues wrs in order. Unbounded send queues (the common case)
+// accept every WR inline; a bounded queue at capacity parks the task and the
+// chain resumes where it stopped.
+func (qp *QP) postAllT(t *sim.Task, wrs []WR, k func()) {
+	for i := range wrs {
+		qp.posted++
+		if qp.sq.TryPut(wrs[i]) {
+			continue
+		}
+		rest := wrs[i+1:]
+		qp.sq.PutT(t, wrs[i], func() { qp.postAllT(t, rest, k) })
+		return
+	}
+	k()
+}
+
+// PostAndWaitT is PostAndWait for tasks: wrs post in doorbell groups with
+// checkpointed completions, and k runs with the final CQE once the last
+// checkpoint lands.
+func (qp *QP) PostAndWaitT(t *sim.Task, wrs []WR, doorbell, cqDrain int, k func(CQE)) {
+	n := len(wrs)
+	if n == 0 {
+		k(CQE{})
+		return
+	}
+	if doorbell < 1 {
+		doorbell = 1
+	}
+	if cqDrain < 1 {
+		cqDrain = 1
+	}
+	checkpoints := 0
+	reply := qp.getReply()
+	for i := range wrs {
+		if (i+1)%cqDrain == 0 || i == n-1 {
+			wrs[i].reply = reply
+			checkpoints++
+		} else {
+			wrs[i].silent = true
+		}
+	}
+	var postGroup func(off int)
+	var collect func(remaining int, last CQE)
+	postGroup = func(off int) {
+		if off >= n {
+			collect(checkpoints, CQE{})
+			return
+		}
+		end := off + doorbell
+		if end > n {
+			end = n
+		}
+		qp.PostManyT(t, wrs[off:end], func() { postGroup(end) })
+	}
+	collect = func(remaining int, last CQE) {
+		for remaining > 0 {
+			rem := remaining
+			cqe, ok := reply.GetT(t, func(c CQE) { collect(rem-1, c) })
+			if !ok {
+				return
+			}
+			last = cqe
+			remaining--
+		}
+		qp.putReply(reply)
+		k(last)
+	}
+	postGroup(0)
+}
+
+// WriteT performs a one-sided RDMA WRITE from a task; k runs with the CQE.
+func (qp *QP) WriteT(t *sim.Task, region *memdev.Region, off int, data []byte, k func(CQE)) {
+	qp.WriteNotifyT(t, region, off, data, nil, k)
+}
+
+// WriteNotifyT is WriteNotify for tasks: onDeliver (when non-nil) fires at
+// the instant the data lands; k runs with the completion.
+func (qp *QP) WriteNotifyT(t *sim.Task, region *memdev.Region, off int, data []byte, onDeliver func(at sim.Time), k func(CQE)) {
+	reply := qp.getReply()
+	qp.PostT(t, WR{Op: OpWrite, Region: region, Offset: off, Data: data, OnDeliver: onDeliver, reply: reply}, func() {
+		if cqe, ok := reply.GetT(t, func(c CQE) {
+			qp.putReply(reply)
+			k(c)
+		}); ok {
+			qp.putReply(reply)
+			k(cqe)
+		}
+	})
+}
+
+// ReadT performs a one-sided RDMA READ of n bytes from a task; k runs with
+// the read bytes.
+func (qp *QP) ReadT(t *sim.Task, region *memdev.Region, off, n int, k func([]byte)) {
+	reply := qp.getReply()
+	qp.PostT(t, WR{Op: OpRead, Region: region, Offset: off, Len: n, reply: reply}, func() {
+		if cqe, ok := reply.GetT(t, func(c CQE) {
+			qp.putReply(reply)
+			k(c.Data)
+		}); ok {
+			qp.putReply(reply)
+			k(cqe.Data)
+		}
+	})
+}
+
+// BarrierT is Barrier for tasks: k runs once earlier writes to the region
+// are forced visible.
+func (qp *QP) BarrierT(t *sim.Task, region *memdev.Region, k func()) {
+	reply := qp.getReply()
+	qp.PostT(t, WR{Op: OpBarrier, Region: region, reply: reply}, func() {
+		if _, ok := reply.GetT(t, func(CQE) {
+			qp.putReply(reply)
+			k()
+		}); ok {
+			qp.putReply(reply)
+			k()
+		}
+	})
 }
 
 // AddCredits provisions n UC receive credits (the NICA helper thread's ring

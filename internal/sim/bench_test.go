@@ -10,8 +10,34 @@ import (
 // allocations for the three blocking substrates every simulated component is
 // built from — timers, channel rendezvous, and resource handoff. One
 // benchmark iteration advances one microsecond of virtual time.
+//
+// The unsuffixed timers/chan-pingpong/resource substrates run on the
+// run-to-completion Task substrate (the execution model of the ported
+// hot-path stages); the -coroutine variants keep the goroutine-per-process
+// Proc substrate for comparison. Both must stay at 0 allocs/op.
 func BenchmarkSimEngine(b *testing.B) {
 	b.Run("timers", func(b *testing.B) {
+		const nTasks = 256
+		s := New(Config{Seed: 1})
+		for i := 0; i < nTasks; i++ {
+			s.SpawnTask("timer", func(t *Task) {
+				var tick func()
+				tick = func() { t.Sleep(time.Microsecond, tick) }
+				tick()
+			})
+		}
+		s.RunUntil(s.Now().Add(10 * time.Microsecond)) // settle spawns
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		reportEventRate(b, nTasks)
+		s.Shutdown()
+	})
+
+	b.Run("timers-coroutine", func(b *testing.B) {
 		const nProcs = 256
 		s := New(Config{Seed: 1})
 		for i := 0; i < nProcs; i++ {
@@ -33,6 +59,58 @@ func BenchmarkSimEngine(b *testing.B) {
 	})
 
 	b.Run("chan-pingpong", func(b *testing.B) {
+		const nPairs = 64
+		s := New(Config{Seed: 1})
+		for i := 0; i < nPairs; i++ {
+			req := NewChan[int](s, 0)
+			resp := NewChan[int](s, 0)
+			s.SpawnTask("client", func(t *Task) {
+				var tick, doPut, afterPut func()
+				var onResp func(int)
+				tick = func() { t.Sleep(time.Microsecond, doPut) }
+				doPut = func() {
+					if req.PutT(t, 1, afterPut) {
+						afterPut()
+					}
+				}
+				afterPut = func() {
+					if _, ok := resp.GetT(t, onResp); ok {
+						tick()
+					}
+				}
+				onResp = func(int) { tick() }
+				tick()
+			})
+			s.SpawnTask("server", func(t *Task) {
+				var loop func()
+				var onReq func(int)
+				onReq = func(v int) {
+					if resp.PutT(t, v, loop) {
+						loop()
+					}
+				}
+				loop = func() {
+					if v, ok := req.GetT(t, onReq); ok {
+						onReq(v)
+					}
+				}
+				loop()
+			})
+		}
+		s.RunUntil(s.Now().Add(10 * time.Microsecond))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		// Same nominal count as the -coroutine variant so events/sec deltas
+		// compare the engines, not the accounting.
+		reportEventRate(b, nPairs*5)
+		s.Shutdown()
+	})
+
+	b.Run("chan-pingpong-coroutine", func(b *testing.B) {
 		const nPairs = 64
 		s := New(Config{Seed: 1})
 		for i := 0; i < nPairs; i++ {
@@ -124,6 +202,38 @@ func BenchmarkSimEngine(b *testing.B) {
 	})
 
 	b.Run("resource", func(b *testing.B) {
+		const nTasks = 128
+		s := New(Config{Seed: 1})
+		res := NewResource(s, nTasks/4)
+		for i := 0; i < nTasks; i++ {
+			s.SpawnTask("worker", func(t *Task) {
+				var loop, held, release func()
+				loop = func() {
+					if res.AcquireT(t, held) {
+						held()
+					}
+				}
+				held = func() { t.Sleep(time.Microsecond, release) }
+				release = func() {
+					res.Release()
+					loop()
+				}
+				loop()
+			})
+		}
+		s.RunUntil(s.Now().Add(10 * time.Microsecond))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunUntil(s.Now().Add(time.Microsecond))
+		}
+		b.StopTimer()
+		// nTasks/4 units cycle per µs: sleep event + release handoff each.
+		reportEventRate(b, nTasks/2)
+		s.Shutdown()
+	})
+
+	b.Run("resource-coroutine", func(b *testing.B) {
 		const nProcs = 128
 		s := New(Config{Seed: 1})
 		res := NewResource(s, nProcs/4)

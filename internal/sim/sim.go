@@ -2,16 +2,33 @@
 //
 // The simulator advances a virtual clock by executing events in
 // (timestamp, sequence-number) order. On top of the raw event loop it offers
-// a coroutine-style process model: each process is a goroutine, but the
-// scheduler guarantees that at most one goroutine belonging to a simulation
-// runs at any instant, handing control back and forth explicitly. Together
-// with the seeded random source this makes every simulation bit-reproducible.
+// two process substrates that coexist on the same heap and interoperate
+// freely:
+//
+//   - Coroutine Procs (Spawn): each process is a goroutine, but the
+//     scheduler guarantees that at most one goroutine belonging to a
+//     simulation runs at any instant, handing control back and forth
+//     explicitly through the per-proc resume channel and the shared yield
+//     channel. Natural straight-line code; two channel operations and a
+//     goroutine switch per scheduler step.
+//   - Run-to-completion Tasks (SpawnTask, see task.go): state-machine
+//     processes whose continuations the scheduler calls inline in its event
+//     loop — zero goroutine switches, zero channel operations per step.
+//     Continuation-passing style at blocking points; built for always-on
+//     hot-path processes.
+//
+// Both substrates share channels, gates, resources, and the seeded random
+// source, and consume scheduler sequence numbers identically, so a process
+// ported between them leaves simulation output byte-identical. Together with
+// the seeded random source this makes every simulation bit-reproducible.
 //
 // The event loop is built for throughput: events are plain values in an
 // inlined 4-ary min-heap (no container/heap interface boxing, no per-event
-// allocation), resuming a blocked process schedules a direct proc-step event
-// instead of a closure, and the waiter nodes of channels and gates recycle
-// through free lists. Steady-state scheduling therefore allocates nothing.
+// allocation), resuming a blocked Proc schedules a direct proc-step event
+// instead of a closure, waking a Task schedules its one pre-bound activation
+// thunk, and the waiter nodes of channels and gates recycle through free
+// lists. Steady-state scheduling therefore allocates nothing on either
+// substrate.
 //
 // Typical usage:
 //
@@ -63,16 +80,20 @@ type Sim struct {
 	rng    *rand.Rand
 
 	// iq is the same-instant fast path: events scheduled at exactly the
-	// current timestamp land in this flat FIFO instead of the heap, so a
+	// current timestamp — Proc resume steps, Task activations, and plain
+	// callbacks alike — land in this flat FIFO instead of the heap, so a
 	// k-event burst of immediate handoffs (channel rendezvous, gate fires,
 	// resource releases) costs O(k) appends and pops rather than O(k log n)
 	// heap operations. Entries always satisfy at == now and carry strictly
 	// increasing seq values greater than any same-timestamp heap entry, so
 	// draining iq in FIFO order — after any older heap events at the same
 	// instant — preserves the exact (at, seq) total order of a pure heap:
-	// results are byte-identical. iqHead indexes the next entry; the slice
-	// resets (keeping capacity) whenever it fully drains, which happens
-	// before the clock can advance.
+	// results are byte-identical. Same-instant events from the two process
+	// substrates have no tie-break of their own: a Task activation and a
+	// Proc step at the same timestamp run purely in seq order, i.e. the
+	// order their wakes were scheduled. iqHead indexes the next entry; the
+	// slice resets (keeping capacity) whenever it fully drains, which
+	// happens before the clock can advance.
 	iq     []event
 	iqHead int
 
@@ -91,15 +112,52 @@ type Sim struct {
 	onShutdown []func()
 	shutdown   bool
 
-	// yield is signalled by the currently running process when it blocks or
-	// exits, returning control to the scheduler.
+	// yield is signalled by the currently running coroutine process when it
+	// blocks or exits, returning control to the scheduler. Tasks never touch
+	// it: their continuations run inline in the event loop.
 	yield chan struct{}
 
-	// order lists spawned processes in spawn order (lazily compacted), so
-	// Shutdown unwinds them deterministically.
-	order    []*Proc
+	// order lists spawned processes and tasks in spawn order (lazily
+	// compacted), so Shutdown unwinds them deterministically regardless of
+	// substrate.
+	order    []runner
 	nprocs   int
 	stopping bool
+}
+
+// runner is one spawn-order entry: a coroutine Proc or a run-to-completion
+// Task (exactly one field is set).
+type runner struct {
+	p *Proc
+	t *Task
+}
+
+// exited reports whether the entry's process has finished.
+func (r runner) exited() bool {
+	if r.p != nil {
+		return r.p.done
+	}
+	return r.t.done
+}
+
+// addRunner tracks spawn order for deterministic Shutdown; it compacts the
+// exited entries once they dominate so long simulations with process churn
+// stay bounded.
+func (s *Sim) addRunner(r runner) {
+	if len(s.order) >= 64 && len(s.order) >= 2*s.nprocs {
+		live := s.order[:0]
+		for _, q := range s.order {
+			if !q.exited() {
+				live = append(live, q)
+			}
+		}
+		for i := len(live); i < len(s.order); i++ {
+			s.order[i] = runner{}
+		}
+		s.order = live
+	}
+	s.order = append(s.order, r)
+	s.nprocs++
 }
 
 // New creates an empty simulation at time zero.
@@ -128,10 +186,10 @@ func (s *Sim) TimeRegressions() uint64 { return s.timeRegressions }
 // registration order.
 func (s *Sim) OnShutdown(fn func()) { s.onShutdown = append(s.onShutdown, fn) }
 
-// event is one scheduled entry. The common case — resuming a blocked
-// process — stores the process directly; only irregular callbacks (timeouts,
-// user events) carry a closure. Events are heap values, never allocated
-// individually.
+// event is one scheduled entry. Resuming a blocked coroutine process stores
+// the process directly; task activations and channel wake thunks carry a
+// pre-bound func; only irregular callbacks (timeouts, user events) carry a
+// fresh closure. Events are heap values, never allocated individually.
 type event struct {
 	at   Time
 	seq  uint64
@@ -213,7 +271,7 @@ func (s *Sim) At(t Time, fn func()) {
 }
 
 // atStep schedules a resume of p at t — the allocation-free fast path used
-// by every blocking primitive in this package.
+// by every Proc-blocking primitive in this package.
 func (s *Sim) atStep(t Time, p *Proc) {
 	s.seq++
 	if t == s.now {
@@ -221,6 +279,19 @@ func (s *Sim) atStep(t Time, p *Proc) {
 		return
 	}
 	s.push(event{at: t, seq: s.seq, proc: p})
+}
+
+// atFn schedules fn at t — the internal hand-off path for task activations
+// and waiter wake thunks. These are pre-bound funcs, so this path is as
+// allocation-free as atStep; it skips At's past-check because callers always
+// schedule at or after now.
+func (s *Sim) atFn(t Time, fn func()) {
+	s.seq++
+	if t == s.now {
+		s.iq = append(s.iq, event{at: t, seq: s.seq, fn: fn})
+		return
+	}
+	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -317,23 +388,7 @@ func (k killedErr) Error() string { return "sim: process " + k.name + " killed" 
 // begins executing when the scheduler reaches its start event.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{}, 1)}
-	// Track spawn order for deterministic Shutdown; compact the exited
-	// entries once they dominate so long simulations with process churn
-	// stay bounded.
-	if len(s.order) >= 64 && len(s.order) >= 2*s.nprocs {
-		live := s.order[:0]
-		for _, q := range s.order {
-			if !q.done {
-				live = append(live, q)
-			}
-		}
-		for i := len(live); i < len(s.order); i++ {
-			s.order[i] = nil
-		}
-		s.order = live
-	}
-	s.order = append(s.order, p)
-	s.nprocs++
+	s.addRunner(runner{p: p})
 	go func() {
 		<-p.resume
 		defer func() {
@@ -395,20 +450,30 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // Killing an exited process is a no-op.
 func (p *Proc) Kill() { p.killed = true }
 
-// Shutdown kills all live processes, unwinding each at its blocking point in
-// spawn order, and drains any events they schedule. Call after RunUntil to
-// avoid leaking goroutines; the Sim must not be used afterwards.
+// Shutdown kills all live processes and tasks, unwinding each at its
+// blocking point in spawn order, and drains any events they schedule. Call
+// after RunUntil to avoid leaking goroutines; the Sim must not be used
+// afterwards.
 func (s *Sim) Shutdown() {
 	s.stopping = true
-	for _, p := range s.order {
-		p.killed = true
+	for _, r := range s.order {
+		if r.p != nil {
+			r.p.killed = true
+		} else {
+			r.t.killed = true
+		}
 	}
-	// Wake every blocked process. Processes blocked on channels/resources
-	// are tracked there; ones blocked on timers will be woken by their
-	// scheduled events, but those may be far in the future, so we resume
-	// each live proc directly.
-	for _, p := range s.order {
-		s.step(p)
+	// Unwind every blocked process in spawn order. Coroutine procs blocked
+	// on channels/resources are tracked there; ones blocked on timers will
+	// be woken by their scheduled events, but those may be far in the
+	// future, so we resume each live proc directly. Tasks have no stack to
+	// unwind: killing one deregisters its waiter and runs its OnKill hook.
+	for _, r := range s.order {
+		if r.p != nil {
+			s.step(r.p)
+		} else {
+			r.t.kill()
+		}
 	}
 	if !s.shutdown {
 		s.shutdown = true
@@ -449,9 +514,17 @@ func NewChan[T any](s *Sim, capacity int) *Chan[T] {
 }
 
 type waiter[T any] struct {
-	p   *Proc
-	val T    // value being delivered (getter: filled by putter; putter: value to enqueue)
-	ok  bool // set when the rendezvous happened
+	p   *Proc // coroutine waiter: the proc to step on rendezvous
+	t   *Task // task waiter: the task whose continuation the wake runs
+	val T     // value being delivered (getter: filled by putter; putter: value to enqueue)
+	ok  bool  // set when the rendezvous happened
+	// kv/kn are the task-side continuations: kv receives the delivered
+	// value (getter), kn resumes a parked putter. wake is the node's
+	// reusable event thunk, bound once per node (see getTaskWaiter) and
+	// kept across the free list so steady-state parking allocates nothing.
+	kv   func(T)
+	kn   func()
+	wake func()
 	// gen guards recycled waiters against stale timeout events: it is
 	// bumped when the waiter returns to the free list, so a pending timeout
 	// closure that captured the old generation becomes a no-op.
@@ -470,10 +543,11 @@ func (c *Chan[T]) getWaiter(p *Proc) *waiter[T] {
 	return &waiter[T]{p: p}
 }
 
-// putWaiter recycles a node whose wait has fully resolved.
+// putWaiter recycles a node whose wait has fully resolved. The wake thunk
+// survives recycling (it is bound to the node, not the wait).
 func (c *Chan[T]) putWaiter(w *waiter[T]) {
 	var zero T
-	w.p, w.val, w.ok = nil, zero, false
+	w.p, w.t, w.kv, w.kn, w.val, w.ok = nil, nil, nil, nil, zero, false
 	w.gen++
 	c.free = append(c.free, w)
 }
@@ -546,12 +620,23 @@ func (c *Chan[T]) popBuf() T {
 	return v
 }
 
+// deliver hands v to a popped getter, waking it on its own substrate: a
+// proc-step event for coroutine waiters, the node's wake thunk for task
+// waiters. Both consume exactly one scheduler slot.
+func (c *Chan[T]) deliver(w *waiter[T], v T) {
+	w.val, w.ok = v, true
+	if w.p != nil {
+		c.sim.atStep(c.sim.now, w.p)
+	} else {
+		c.sim.atFn(c.sim.now, w.wake)
+	}
+}
+
 // Put enqueues v, blocking while the queue is at capacity.
 func (c *Chan[T]) Put(p *Proc, v T) {
 	if w := c.getters.pop(); w != nil {
 		// Direct hand-off to a waiting getter.
-		w.val, w.ok = v, true
-		c.sim.atStep(c.sim.now, w.p)
+		c.deliver(w, v)
 		return
 	}
 	if c.cap == 0 || c.Len() < c.cap {
@@ -576,8 +661,7 @@ func (c *Chan[T]) Put(p *Proc, v T) {
 // blocking. It reports whether the value was accepted.
 func (c *Chan[T]) TryPut(v T) bool {
 	if w := c.getters.pop(); w != nil {
-		w.val, w.ok = v, true
-		c.sim.atStep(c.sim.now, w.p)
+		c.deliver(w, v)
 		return true
 	}
 	if c.cap == 0 || c.Len() < c.cap {
@@ -592,7 +676,11 @@ func (c *Chan[T]) admitPutter() {
 	if w := c.putters.pop(); w != nil {
 		w.ok = true
 		c.buf = append(c.buf, w.val)
-		c.sim.atStep(c.sim.now, w.p)
+		if w.p != nil {
+			c.sim.atStep(c.sim.now, w.p)
+		} else {
+			c.sim.atFn(c.sim.now, w.wake)
+		}
 	}
 }
 
@@ -702,8 +790,15 @@ type Resource struct {
 	sim     *Sim
 	total   int
 	inUse   int
-	waiters []*Proc // FIFO; wHead indexes the oldest waiter
+	waiters []resWaiter // FIFO across both substrates; wHead indexes the oldest
 	wHead   int
+}
+
+// resWaiter is one blocked acquirer: a coroutine proc or a task (whose
+// continuation was armed by AcquireT). Exactly one field is set.
+type resWaiter struct {
+	p *Proc
+	t *Task
 }
 
 // NewResource creates a resource pool with n units. n must be positive.
@@ -720,7 +815,7 @@ func (r *Resource) Acquire(p *Proc) {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters = append(r.waiters, resWaiter{p: p})
 	p.block()
 }
 
@@ -737,7 +832,7 @@ func (r *Resource) TryAcquire() bool {
 func (r *Resource) Release() {
 	if r.wHead < len(r.waiters) {
 		w := r.waiters[r.wHead]
-		r.waiters[r.wHead] = nil
+		r.waiters[r.wHead] = resWaiter{}
 		r.wHead++
 		if r.wHead == len(r.waiters) {
 			r.waiters, r.wHead = r.waiters[:0], 0
@@ -746,12 +841,16 @@ func (r *Resource) Release() {
 			// backing array stays bounded.
 			n := copy(r.waiters, r.waiters[r.wHead:])
 			for i := n; i < len(r.waiters); i++ {
-				r.waiters[i] = nil
+				r.waiters[i] = resWaiter{}
 			}
 			r.waiters, r.wHead = r.waiters[:n], 0
 		}
 		// Unit passes directly to the waiter; inUse stays constant.
-		r.sim.atStep(r.sim.now, w)
+		if w.p != nil {
+			r.sim.atStep(r.sim.now, w.p)
+		} else {
+			r.sim.atFn(r.sim.now, w.t.runEv)
+		}
 		return
 	}
 	if r.inUse == 0 {
@@ -844,7 +943,8 @@ type Gate struct {
 }
 
 type gateWaiter struct {
-	p     *Proc
+	p     *Proc // coroutine waiter (nil for task waiters)
+	t     *Task // task waiter; its continuation was armed by WaitT
 	woken bool
 	gen   uint64 // guards recycled waiters against stale timeout events
 }
@@ -864,7 +964,16 @@ func (g *Gate) Fire() {
 	ws := g.waiters
 	for i, w := range ws {
 		w.woken = true
-		g.sim.atStep(g.sim.now, w.p)
+		if w.p != nil {
+			g.sim.atStep(g.sim.now, w.p)
+		} else {
+			// The task's continuation lives in the task, not the node, so
+			// the node recycles immediately (bumping gen, which neutralizes
+			// any pending WaitTimeoutT timeout for this wait).
+			t := w.t
+			g.putWaiter(w)
+			g.sim.atFn(g.sim.now, t.runEv)
+		}
 		ws[i] = nil
 	}
 	g.waiters = ws[:0] // keep the backing array for the next round of waiters
@@ -893,7 +1002,7 @@ func (g *Gate) getWaiter(p *Proc) *gateWaiter {
 
 // putWaiter recycles a node whose wait has fully resolved.
 func (g *Gate) putWaiter(w *gateWaiter) {
-	w.p, w.woken = nil, false
+	w.p, w.t, w.woken = nil, nil, false
 	w.gen++
 	g.free = append(g.free, w)
 }

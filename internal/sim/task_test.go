@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTaskGetsFromProcFedChan: a Task parked in GetT is fed by a coroutine
+// Proc. Values arrive in order and the continuation observes the hand-off
+// time, per the wait-booking contract.
+func TestTaskGetsFromProcFedChan(t *testing.T) {
+	s := New(Config{})
+	ch := NewChan[int](s, 0)
+	var got []int
+	var at []Time
+	s.SpawnTask("consumer", func(tk *Task) {
+		var step func(v int)
+		step = func(v int) {
+			got = append(got, v)
+			at = append(at, tk.Now())
+			if len(got) < 3 {
+				if v, ok := ch.GetT(tk, step); ok {
+					step(v)
+				}
+			}
+		}
+		if v, ok := ch.GetT(tk, step); ok {
+			step(v)
+		}
+	})
+	s.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(time.Microsecond)
+			ch.Put(p, i*10)
+		}
+	})
+	s.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+	for i, a := range at {
+		if want := Time(time.Duration(i+1) * time.Microsecond); a != want {
+			t.Errorf("value %d delivered at %v, want %v", i, a, want)
+		}
+	}
+	if s.Live() != 0 {
+		t.Fatalf("%d live processes after run", s.Live())
+	}
+}
+
+// TestProcGetsFromTaskFedChan: the reverse direction — a Proc blocked in Get
+// receives from a Task putting via PutT.
+func TestProcGetsFromTaskFedChan(t *testing.T) {
+	s := New(Config{})
+	ch := NewChan[int](s, 0)
+	var got []int
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, ch.Get(p))
+		}
+	})
+	s.SpawnTask("producer", func(tk *Task) {
+		i := 0
+		var step func()
+		step = func() {
+			if i >= 3 {
+				return
+			}
+			i++
+			tk.Sleep(time.Microsecond, func() {
+				if ch.PutT(tk, i*10, step) {
+					step()
+				}
+			})
+		}
+		step()
+	})
+	s.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("%d live processes after run", s.Live())
+	}
+}
+
+// TestTaskPutBlocksAtCapacity: a Task's PutT parks once the buffer is full
+// and resumes when a Proc drains, exactly like a blocked Proc putter.
+func TestTaskPutBlocksAtCapacity(t *testing.T) {
+	s := New(Config{})
+	ch := NewChan[int](s, 1)
+	var putDone, getAt Time
+	s.SpawnTask("producer", func(tk *Task) {
+		done := func() { putDone = tk.Now() }
+		if ch.PutT(tk, 1, nil) { // fills inline
+			if ch.PutT(tk, 2, done) { // must park
+				done()
+			}
+		}
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		getAt = p.Now()
+		_ = ch.Get(p)
+		_ = ch.Get(p)
+	})
+	s.Run()
+	if putDone < getAt {
+		t.Fatalf("second PutT finished at %v before the consumer ran at %v", putDone, getAt)
+	}
+}
+
+// TestTaskParkedOnGate: WaitT parks until Fire; WaitTimeoutT times out
+// without a fire and reports the fire when it wins the race.
+func TestTaskParkedOnGate(t *testing.T) {
+	s := New(Config{})
+	g := NewGate(s)
+	var wokeAt Time
+	var timedOut, fired bool
+	s.SpawnTask("waiter", func(tk *Task) {
+		v := g.Version()
+		afterFire := func() {
+			wokeAt = tk.Now()
+			if inl, _ := g.WaitTimeoutT(tk, g.Version(), 5*time.Microsecond, func(f bool) {
+				timedOut = !f
+				if inl2, f2 := g.WaitTimeoutT(tk, g.Version(), time.Second, func(f3 bool) { fired = f3 }); inl2 {
+					fired = f2
+				}
+			}); inl {
+				t.Error("second wait should have parked")
+			}
+		}
+		if g.WaitT(tk, v, afterFire) {
+			t.Error("first wait should have parked")
+		}
+	})
+	s.Spawn("firer", func(p *Proc) {
+		p.Sleep(10 * time.Microsecond)
+		g.Fire()
+		p.Sleep(20 * time.Microsecond)
+		g.Fire()
+	})
+	s.RunUntil(Time(time.Second))
+	s.Shutdown()
+	if wokeAt != Time(10*time.Microsecond) {
+		t.Fatalf("gate wake at %v, want 10µs", wokeAt)
+	}
+	if !timedOut {
+		t.Fatal("5µs wait without a fire should have timed out")
+	}
+	if !fired {
+		t.Fatal("second fire should have won the 1s wait")
+	}
+}
+
+// TestTaskResourceFIFOWithProcs: Task and Proc waiters on one resource are
+// granted strictly FIFO, regardless of substrate.
+func TestTaskResourceFIFOWithProcs(t *testing.T) {
+	s := New(Config{})
+	r := NewResource(s, 1)
+	var order []string
+	// Spawn alternating substrates; each holds the unit for 10µs.
+	for i, kind := range []string{"proc", "task", "proc", "task"} {
+		name := kind
+		if kind == "proc" {
+			s.Spawn(name, func(p *Proc) {
+				r.With(p, 10*time.Microsecond, nil)
+				order = append(order, name)
+			})
+		} else {
+			s.SpawnTask(name, func(tk *Task) {
+				r.WithT(tk, 10*time.Microsecond, func() {
+					order = append(order, name)
+				})
+			})
+		}
+		_ = i
+	}
+	s.Run()
+	want := []string{"proc", "task", "proc", "task"}
+	if len(order) != 4 {
+		t.Fatalf("%d completions, want 4", len(order))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v is not spawn-FIFO", order)
+		}
+	}
+}
+
+// TestTaskNestedWithTReusesFrame: nested Resource.WithT calls issued from
+// inside the previous call's continuation must be safe (they reuse the
+// task's single resFrame) and keep exact virtual-time accounting.
+func TestTaskNestedWithTReusesFrame(t *testing.T) {
+	s := New(Config{})
+	r1 := NewResource(s, 1)
+	r2 := NewResource(s, 1)
+	var doneAt Time
+	s.SpawnTask("nested", func(tk *Task) {
+		r1.WithT(tk, 10*time.Microsecond, func() {
+			r2.WithT(tk, 5*time.Microsecond, func() {
+				r1.WithT(tk, 0, func() { // zero-hold inline path
+					doneAt = tk.Now()
+				})
+			})
+		})
+	})
+	s.Run()
+	if doneAt != Time(15*time.Microsecond) {
+		t.Fatalf("nested WithT chain finished at %v, want 15µs", doneAt)
+	}
+	if r1.InUse() != 0 || r2.InUse() != 0 {
+		t.Fatal("resource units leaked")
+	}
+}
+
+// TestTaskProcSameInstantOrdering: wakes scheduled for the same instant run
+// in schedule order with no substrate tie-break — a Task wake scheduled
+// before a Proc wake runs first, and vice versa.
+func TestTaskProcSameInstantOrdering(t *testing.T) {
+	run := func(taskFirst bool) []string {
+		s := New(Config{})
+		var order []string
+		spawnTask := func() {
+			s.SpawnTask("t", func(tk *Task) {
+				tk.Sleep(time.Microsecond, func() { order = append(order, "task") })
+			})
+		}
+		spawnProc := func() {
+			s.Spawn("p", func(p *Proc) {
+				p.Sleep(time.Microsecond)
+				order = append(order, "proc")
+			})
+		}
+		if taskFirst {
+			spawnTask()
+			spawnProc()
+		} else {
+			spawnProc()
+			spawnTask()
+		}
+		s.Run()
+		return order
+	}
+	if got := run(true); got[0] != "task" || got[1] != "proc" {
+		t.Fatalf("task scheduled first must wake first: %v", got)
+	}
+	if got := run(false); got[0] != "proc" || got[1] != "task" {
+		t.Fatalf("proc scheduled first must wake first: %v", got)
+	}
+}
+
+// TestTaskKillRunsOnKill: killing a parked Task removes its waiter, runs the
+// OnKill hook, and leaves the channel usable by others.
+func TestTaskKillRunsOnKill(t *testing.T) {
+	s := New(Config{})
+	ch := NewChan[int](s, 0)
+	cleaned := false
+	var victim *Task
+	victim = s.SpawnTask("victim", func(tk *Task) {
+		tk.OnKill(func() { cleaned = true })
+		ch.GetT(tk, func(int) { t.Error("killed task's continuation ran") })
+	})
+	var got int
+	s.Spawn("survivor", func(p *Proc) {
+		p.Sleep(2 * time.Microsecond)
+		got = ch.Get(p)
+	})
+	s.After(time.Microsecond, func() { victim.Kill() })
+	s.Spawn("producer", func(p *Proc) {
+		p.Sleep(3 * time.Microsecond)
+		ch.Put(p, 7)
+	})
+	s.Run()
+	if !cleaned {
+		t.Fatal("OnKill hook never ran")
+	}
+	if got != 7 {
+		t.Fatalf("survivor got %d, want 7 (killed task's waiter not removed?)", got)
+	}
+	if s.Live() != 0 {
+		t.Fatalf("live = %d", s.Live())
+	}
+}
+
+// TestTaskDeterminism: a mixed Task/Proc workload over shared channels and
+// resources produces an identical execution trace on every run.
+func TestTaskDeterminism(t *testing.T) {
+	run := func() []string {
+		s := New(Config{Seed: 9})
+		ch := NewChan[int](s, 2)
+		r := NewResource(s, 1)
+		var order []string
+		s.SpawnTask("taskworker", func(tk *Task) {
+			var loop func(v int)
+			loop = func(v int) {
+				r.WithT(tk, time.Duration(1+v%3)*time.Microsecond, func() {
+					order = append(order, "task")
+					if v < 20 {
+						if nv, ok := ch.GetT(tk, loop); ok {
+							loop(nv)
+						}
+					}
+				})
+			}
+			if v, ok := ch.GetT(tk, loop); ok {
+				loop(v)
+			}
+		})
+		s.Spawn("procworker", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				r.With(p, time.Duration(1+i%2)*time.Microsecond, nil)
+				order = append(order, "proc")
+			}
+		})
+		s.Spawn("feeder", func(p *Proc) {
+			for i := 1; i <= 21; i++ {
+				p.Sleep(time.Duration(p.Sim().Rand().IntN(4)) * time.Microsecond)
+				ch.Put(p, i)
+			}
+		})
+		s.RunUntil(Time(time.Second))
+		s.Shutdown()
+		return order
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); !equalStrings(got, first) {
+			t.Fatalf("nondeterministic mixed-substrate trace:\n%v\nvs\n%v", first, got)
+		}
+	}
+}

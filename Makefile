@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test bench bench-compare eval examples vet clean
+.PHONY: all test bench bench-compare sentinel-baseline sentinel-check eval examples vet clean
 
 all: vet test
 
@@ -26,7 +26,19 @@ bench:
 BASELINE ?= bench/baseline_pr6.txt
 bench-compare:
 	$(GO) test -run '^$$' -bench BenchmarkSimEngine -benchmem -count=10 ./internal/sim/ | tee bench_new.txt
-	$(GO) run ./cmd/benchcmp $(BASELINE) bench_new.txt
+	$(GO) run ./cmd/benchcmp $(BASELINE) bench_new.txt -json bench/benchcmp.json
+
+# Regression sentinel: record a full attribution baseline artifact (profile
+# report, scorecard claims, knee predictions, plus the bench-compare recording
+# when present), and diff the current build against the committed seed
+# baseline. SENTINEL_SCALE matches the committed artifact; a schema or model
+# change needs `make sentinel-baseline` to refresh bench/sentinel_baseline.json.
+SENTINEL_SCALE ?= 0.25
+sentinel-baseline:
+	$(GO) run ./cmd/lynxbench -baseline bench/sentinel_baseline.json -scale $(SENTINEL_SCALE)
+
+sentinel-check:
+	$(GO) run ./cmd/lynxbench -compare bench/sentinel_baseline.json -scale $(SENTINEL_SCALE)
 
 # Regenerate every table and figure of the paper's evaluation.
 eval:

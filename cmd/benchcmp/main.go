@@ -10,161 +10,20 @@
 //	benchcmp old.txt new.txt [-json out.json]
 //
 // The optional -json file records the full comparison (per-metric samples,
-// medians, delta, p-value) for archival, e.g. BENCH_PR7.json.
+// medians, delta, p-value) for archival and for embedding into regression
+// sentinel artifacts (lynxbench -baseline -bench-json out.json). The
+// statistics and the row schema live in internal/bench, shared with the
+// sentinel's diff machinery.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"sort"
-	"strconv"
 	"strings"
+
+	"lynx/internal/bench"
 )
-
-// sampleKey identifies one metric series of one benchmark.
-type sampleKey struct {
-	Bench  string
-	Metric string
-}
-
-// parseBench reads go-test benchmark output: lines of the form
-//
-//	BenchmarkName-8  1234  5678 ns/op  90 events/sec  0 B/op  0 allocs/op
-//
-// and returns metric samples keyed by (name, unit). The -N GOMAXPROCS
-// suffix is stripped so files from different machines still line up.
-func parseBench(path string) (map[sampleKey][]float64, []string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	samples := make(map[sampleKey][]float64)
-	var order []string
-	seen := make(map[string]bool)
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-			continue
-		}
-		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
-		if !seen[name] {
-			seen[name] = true
-			order = append(order, name)
-		}
-		// fields[1] is the iteration count; after that, (value, unit) pairs.
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			k := sampleKey{Bench: name, Metric: fields[i+1]}
-			samples[k] = append(samples[k], v)
-		}
-	}
-	return samples, order, sc.Err()
-}
-
-func median(xs []float64) float64 {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n == 0 {
-		return math.NaN()
-	}
-	if n%2 == 1 {
-		return s[n/2]
-	}
-	return (s[n/2-1] + s[n/2]) / 2
-}
-
-// mannWhitneyP returns the two-sided p-value of the Mann-Whitney U test via
-// the normal approximation with tie correction — adequate for the n≈10
-// sample counts benchmark comparisons use (and the same default benchstat
-// falls back to at larger n).
-func mannWhitneyP(a, b []float64) float64 {
-	n1, n2 := float64(len(a)), float64(len(b))
-	if n1 == 0 || n2 == 0 {
-		return 1
-	}
-	type obs struct {
-		v     float64
-		group int
-	}
-	all := make([]obs, 0, len(a)+len(b))
-	for _, v := range a {
-		all = append(all, obs{v, 0})
-	}
-	for _, v := range b {
-		all = append(all, obs{v, 1})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
-	// Midranks with tie accounting.
-	ranks := make([]float64, len(all))
-	tieTerm := 0.0
-	for i := 0; i < len(all); {
-		j := i
-		for j < len(all) && all[j].v == all[i].v {
-			j++
-		}
-		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
-		for k := i; k < j; k++ {
-			ranks[k] = r
-		}
-		t := float64(j - i)
-		tieTerm += t*t*t - t
-		i = j
-	}
-	r1 := 0.0
-	for i, o := range all {
-		if o.group == 0 {
-			r1 += ranks[i]
-		}
-	}
-	u := r1 - n1*(n1+1)/2
-	mu := n1 * n2 / 2
-	n := n1 + n2
-	sigma2 := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
-	if sigma2 <= 0 {
-		// All values identical: no evidence of difference.
-		return 1
-	}
-	z := (u - mu) / math.Sqrt(sigma2)
-	// Continuity correction toward the mean.
-	if z > 0 {
-		z -= 0.5 / math.Sqrt(sigma2)
-	} else if z < 0 {
-		z += 0.5 / math.Sqrt(sigma2)
-	}
-	return 2 * (1 - stdNormalCDF(math.Abs(z)))
-}
-
-func stdNormalCDF(x float64) float64 {
-	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
-}
-
-// row is one (benchmark, metric) comparison in the JSON record.
-type row struct {
-	Benchmark   string    `json:"benchmark"`
-	Metric      string    `json:"metric"`
-	OldSamples  []float64 `json:"old_samples"`
-	NewSamples  []float64 `json:"new_samples"`
-	OldMedian   float64   `json:"old_median"`
-	NewMedian   float64   `json:"new_median"`
-	DeltaPct    float64   `json:"delta_pct"`
-	PValue      float64   `json:"p_value"`
-	Significant bool      `json:"significant"`
-}
 
 func main() {
 	jsonOut := flag.String("json", "", "also write the full comparison as JSON to this file")
@@ -194,117 +53,23 @@ func main() {
 		flag.CommandLine.Usage()
 		os.Exit(2)
 	}
-	oldS, oldOrder, err := parseBench(files[0])
+	oldS, oldOrder, err := bench.ParseFile(files[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
-	newS, newOrder, err := parseBench(files[1])
+	newS, newOrder, err := bench.ParseFile(files[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
 		os.Exit(1)
 	}
 
-	// Stable report order: benchmarks as they appear in the old file, then
-	// new-only ones; within a benchmark, a fixed metric order.
-	metricOrder := []string{"ns/op", "events/sec", "B/op", "allocs/op"}
-	benches := append([]string(nil), oldOrder...)
-	for _, b := range newOrder {
-		found := false
-		for _, o := range oldOrder {
-			if o == b {
-				found = true
-				break
-			}
-		}
-		if !found {
-			benches = append(benches, b)
-		}
-	}
-
-	var rows []row
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
-	fmt.Fprintf(w, "%-44s %-11s %14s %14s %9s %8s\n", "benchmark", "metric", "old median", "new median", "delta", "p")
-	for _, b := range benches {
-		for _, m := range metricOrder {
-			k := sampleKey{Bench: b, Metric: m}
-			o, haveOld := oldS[k]
-			n, haveNew := newS[k]
-			switch {
-			case haveOld && haveNew:
-				om, nm := median(o), median(n)
-				p := mannWhitneyP(o, n)
-				sig := p < 0.05
-				delta := 0.0
-				if om != 0 {
-					delta = (nm - om) / om * 100
-				}
-				ds := fmt.Sprintf("%+.1f%%", delta)
-				if !sig {
-					ds = "~"
-				}
-				fmt.Fprintf(w, "%-44s %-11s %14.1f %14.1f %9s %8.3f\n", b, m, om, nm, ds, p)
-				rows = append(rows, row{
-					Benchmark: b, Metric: m,
-					OldSamples: o, NewSamples: n,
-					OldMedian: om, NewMedian: nm,
-					DeltaPct: delta, PValue: p, Significant: sig,
-				})
-			case haveNew:
-				nm := median(n)
-				fmt.Fprintf(w, "%-44s %-11s %14s %14.1f %9s %8s\n", b, m, "(new)", nm, "", "")
-				rows = append(rows, row{
-					Benchmark: b, Metric: m,
-					NewSamples: n, OldMedian: math.NaN(), NewMedian: nm,
-					DeltaPct: math.NaN(), PValue: math.NaN(),
-				})
-			case haveOld:
-				om := median(o)
-				fmt.Fprintf(w, "%-44s %-11s %14.1f %14s %9s %8s\n", b, m, om, "(gone)", "", "")
-			}
-		}
-	}
+	cmp := bench.Compare(oldS, newS, oldOrder, newOrder)
+	cmp.OldFile, cmp.NewFile = files[0], files[1]
+	fmt.Print(cmp.Table())
 
 	if *jsonOut != "" {
-		// NaN is not valid JSON; strip it to nulls via a shadow struct.
-		type jrow struct {
-			Benchmark   string    `json:"benchmark"`
-			Metric      string    `json:"metric"`
-			OldSamples  []float64 `json:"old_samples,omitempty"`
-			NewSamples  []float64 `json:"new_samples,omitempty"`
-			OldMedian   *float64  `json:"old_median,omitempty"`
-			NewMedian   *float64  `json:"new_median,omitempty"`
-			DeltaPct    *float64  `json:"delta_pct,omitempty"`
-			PValue      *float64  `json:"p_value,omitempty"`
-			Significant bool      `json:"significant"`
-		}
-		opt := func(v float64) *float64 {
-			if math.IsNaN(v) {
-				return nil
-			}
-			return &v
-		}
-		out := struct {
-			Old  string `json:"old_file"`
-			New  string `json:"new_file"`
-			Rows []jrow `json:"rows"`
-		}{Old: files[0], New: files[1]}
-		for _, r := range rows {
-			out.Rows = append(out.Rows, jrow{
-				Benchmark: r.Benchmark, Metric: r.Metric,
-				OldSamples: r.OldSamples, NewSamples: r.NewSamples,
-				OldMedian: opt(r.OldMedian), NewMedian: opt(r.NewMedian),
-				DeltaPct: opt(r.DeltaPct), PValue: opt(r.PValue),
-				Significant: r.Significant,
-			})
-		}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchcmp:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := cmp.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcmp:", err)
 			os.Exit(1)
 		}

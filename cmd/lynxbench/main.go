@@ -14,6 +14,14 @@
 //	lynxbench -exp fig6 -top 10     # table of the 10 slowest requests
 //	lynxbench -exp fig6 -batch 8    # end-to-end batching (doorbell, CQ drain,
 //	                                # dispatcher quantum) of 8 on every run
+//	lynxbench -baseline out.json    # measure and persist a regression-sentinel
+//	                                # baseline artifact (attribution report,
+//	                                # scorecard, knee predictions)
+//	lynxbench -compare old.json     # re-measure and diff against a baseline;
+//	                                # non-zero exit when anything moved out of
+//	                                # its noise band
+//	lynxbench -compare a.json -compare-to b.json
+//	                                # diff two recorded artifacts, no measuring
 //
 // Output is a text table per experiment, with the paper's numbers alongside
 // the measured ones. Runs are bit-reproducible for a given seed and scale:
@@ -35,6 +43,7 @@ import (
 	"lynx/internal/experiments"
 	"lynx/internal/fault"
 	"lynx/internal/model"
+	"lynx/internal/sentinel"
 )
 
 func main() {
@@ -61,9 +70,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		topN       = fs.Int("top", 0, "print the N slowest requests (status, per-phase wait/service) after the runs")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		baseline   = fs.String("baseline", "", "measure a regression-sentinel baseline (attribution report, scorecard, knee predictions) and write the artifact to this file")
+		compare    = fs.String("compare", "", "diff the current build against this baseline artifact: re-measure (or use -compare-to) and report attribution-level moves outside their noise bands")
+		compareTo  = fs.String("compare-to", "", "with -compare, diff against this recorded artifact instead of re-measuring")
+		benchJSON  = fs.String("bench-json", "", "embed this cmd/benchcmp -json recording into the baseline artifact (make bench-compare writes bench/benchcmp.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *baseline != "" || *compare != "" {
+		workers := *parallel
+		if workers <= 0 {
+			workers = experiments.AutoWorkers
+		}
+		bc, err := model.BatchConfigFromFlags(*batch, *batchCQ, *batchQuant)
+		if err != nil {
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 2
+		}
+		cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, Batch: bc}
+		return sentinelMode(cfg, *baseline, *compare, *compareTo, *benchJSON, stdout, stderr)
 	}
 
 	if *list || *exp == "" {
@@ -167,6 +194,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if failed {
 		fmt.Fprintln(stderr, "lynxbench: scorecard claims FAILED")
+		return 1
+	}
+	return 0
+}
+
+// sentinelMode handles -baseline and -compare: the regression-sentinel CLI.
+func sentinelMode(cfg experiments.Config, baseline, compare, compareTo, benchJSON string, stdout, stderr io.Writer) int {
+	if baseline != "" && compare != "" {
+		fmt.Fprintln(stderr, "lynxbench: -baseline and -compare are mutually exclusive")
+		return 2
+	}
+	if baseline != "" {
+		a, err := experiments.BuildSentinelArtifact(cfg, benchJSON)
+		if err != nil {
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
+		}
+		if err := a.WriteFile(baseline); err != nil {
+			fmt.Fprintln(stderr, "lynxbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "sentinel baseline written to %s (%d claims, %d knees, fingerprint %s)\n",
+			baseline, len(a.Scorecard), len(a.Knees), a.Fingerprint.Config)
+		return 0
+	}
+	old, err := sentinel.Read(compare)
+	if err != nil {
+		fmt.Fprintln(stderr, "lynxbench:", err)
+		return 1
+	}
+	cur := (*sentinel.Artifact)(nil)
+	if compareTo != "" {
+		cur, err = sentinel.Read(compareTo)
+	} else {
+		cur, err = experiments.BuildSentinelArtifact(cfg, benchJSON)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "lynxbench:", err)
+		return 1
+	}
+	d := sentinel.Diff(old, cur, sentinel.Options{})
+	fmt.Fprint(stdout, d.String())
+	if !d.Clean() {
 		return 1
 	}
 	return 0

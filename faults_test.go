@@ -143,15 +143,17 @@ func TestFaultPlanDeterminism(t *testing.T) {
 // runtime invariants AND fault injection at once, proving the checkers'
 // conservation ledgers (request conservation, ring bounds, span telescoping)
 // hold when the stages execute as inline continuations rather than
-// coroutines. RDMAErrRate is deliberately absent: go-back-N retries violate
-// the mqueue header-monotonicity check on any substrate (a long-standing
-// limitation of that checker, identical on the coroutine path).
+// coroutines. RDMAErrRate is armed too: go-back-N retries reorder header
+// snapshots relative to CQE delivery, which used to trip the mqueue
+// header-monotonicity check as a false positive; absorbHeader now orders
+// snapshots by wire time (CQE.At) and drops stale ones, so this run doubles
+// as the regression test for that fix.
 func TestInvariantsHoldOnTaskSubstrateUnderFaults(t *testing.T) {
 	cluster, srv, target, client := gpuEcho(t,
 		lynx.WithSeed(11),
 		lynx.WithInvariants(),
 		lynx.WithFaults(lynx.FaultConfig{
-			Seed: 11, DropRate: 0.02, DelayRate: 0.05,
+			Seed: 11, DropRate: 0.02, DelayRate: 0.05, RDMAErrRate: 0.005,
 		}),
 	)
 	defer cluster.Close()

@@ -55,6 +55,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		barOff, barOn                        time.Duration
 		dispatcherRank                       float64
 		kneeGain                             float64
+		fig6KneeRatio, fig9KneeRatio         float64
 	)
 	tasks := []func(){
 		func() { _, invOverhead = invocationOverhead(cfg) },
@@ -83,6 +84,8 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		func() { barOn, _ = barrierRun(cfg, true) },
 		func() { dispatcherRank = attributionDispatcherRank(cfg) },
 		func() { kneeGain = batchKneeGain(cfg) },
+		func() { fig6KneeRatio = fig6Knee(cfg).ratio() },
+		func() { fig9KneeRatio = fig9Knee(cfg).ratio() },
 	}
 	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
 
@@ -114,6 +117,9 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 
 		"attribution.dispatcher_rank": dispatcherRank,
 		"batch.knee_gain":             kneeGain,
+
+		"sentinel.fig6_knee_ratio": fig6KneeRatio,
+		"sentinel.fig9_knee_ratio": fig9KneeRatio,
 	}
 }
 

@@ -150,11 +150,12 @@ type Queue struct {
 	lay    layout
 	qp     *rdma.QP
 
-	rxHead     uint64 // next RX sequence to fill
-	rxConsumed uint64 // accelerator's consumed-RX counter (cached)
-	txSeen     uint64 // accelerator's sent-TX counter (cached)
-	txTail     uint64 // TX messages we have drained
-	txDirty    bool   // txConsumed needs publishing to the accelerator
+	rxHead     uint64   // next RX sequence to fill
+	rxConsumed uint64   // accelerator's consumed-RX counter (cached)
+	txSeen     uint64   // accelerator's sent-TX counter (cached)
+	txTail     uint64   // TX messages we have drained
+	txDirty    bool     // txConsumed needs publishing to the accelerator
+	hdrAt      sim.Time // wire instant of the freshest absorbed header snapshot
 
 	pushed, polled, full uint64
 }
@@ -442,21 +443,31 @@ func (q *Queue) PushAsync(p *sim.Proc, payload []byte, errStatus byte) (int, err
 
 // Refresh re-reads this queue's header counters with one RDMA READ.
 func (q *Queue) Refresh(p *sim.Proc) {
-	raw := q.qp.Read(p, q.region, q.lay.hdr, 16)
-	q.absorbHeader(raw)
+	cqe := q.qp.ReadCQE(p, q.region, q.lay.hdr, 16)
+	q.absorbHeader(cqe.Data, cqe.At)
 }
 
 // RefreshT is Refresh for tasks: k runs once the header read lands and the
 // cached counters are updated.
 func (q *Queue) RefreshT(t *sim.Task, k func()) {
-	q.qp.ReadT(t, q.region, q.lay.hdr, 16, func(raw []byte) {
-		q.absorbHeader(raw)
+	q.qp.ReadCQET(t, q.region, q.lay.hdr, 16, func(cqe rdma.CQE) {
+		q.absorbHeader(cqe.Data, cqe.At)
 		k()
 	})
 }
 
-// absorbHeader ingests the accelerator-written half of a header block.
-func (q *Queue) absorbHeader(raw []byte) {
+// absorbHeader ingests the accelerator-written half of a header block. at is
+// the wire instant the READ snapshotted memory (CQE.At), not its delivery
+// time: RC completions are delivered in posting order, but a transport-level
+// retry (fault plan RDMAErrRate) can delay an earlier READ's wire trip past a
+// later one's, so a newer snapshot may be absorbed first. A stale snapshot is
+// simply dropped — absorbing it would make the monotonic counters appear to
+// run backwards (the false positive PR 7 documented).
+func (q *Queue) absorbHeader(raw []byte, at sim.Time) {
+	if at < q.hdrAt {
+		return
+	}
+	q.hdrAt = at
 	rxConsumed := leUint64(raw[hdrRxConsumed:])
 	txSeen := leUint64(raw[hdrTxSent:])
 	if ck := q.cfg.Check; ck.Enabled() {
@@ -789,9 +800,9 @@ func (g *Group) Queue(i int) *Queue { return g.queues[i] }
 // queue's cached counters — the batching that makes polling hundreds of
 // mqueues affordable.
 func (g *Group) Refresh(p *sim.Proc) {
-	raw := g.qp.Read(p, g.region, g.base, len(g.queues)*QueueHeaderBytes)
+	cqe := g.qp.ReadCQE(p, g.region, g.base, len(g.queues)*QueueHeaderBytes)
 	for i, q := range g.queues {
-		q.absorbHeader(raw[i*QueueHeaderBytes:])
+		q.absorbHeader(cqe.Data[i*QueueHeaderBytes:], cqe.At)
 	}
 	g.refreshes++
 }
@@ -799,9 +810,9 @@ func (g *Group) Refresh(p *sim.Proc) {
 // RefreshT is Refresh for tasks: one RDMA READ covers every queue header in
 // the group; k runs once all cached counters are updated.
 func (g *Group) RefreshT(t *sim.Task, k func()) {
-	g.qp.ReadT(t, g.region, g.base, len(g.queues)*QueueHeaderBytes, func(raw []byte) {
+	g.qp.ReadCQET(t, g.region, g.base, len(g.queues)*QueueHeaderBytes, func(cqe rdma.CQE) {
 		for i, q := range g.queues {
-			q.absorbHeader(raw[i*QueueHeaderBytes:])
+			q.absorbHeader(cqe.Data[i*QueueHeaderBytes:], cqe.At)
 		}
 		g.refreshes++
 		k()

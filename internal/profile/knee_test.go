@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lynx/internal/metrics"
+)
+
+// utilReg builds a registry with one dispatcher-utilization series holding
+// the given samples at 50µs spacing, plus a backlog series with the given
+// values.
+func utilReg(util []float64, backlog []float64) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	u := reg.NewSeries("snic/dispatch-util", 1024)
+	for i, v := range util {
+		u.Add(time.Duration(i)*50*time.Microsecond, v)
+	}
+	b := reg.NewSeries("snic/backlog", 1024)
+	for i, v := range backlog {
+		b.Add(time.Duration(i)*50*time.Microsecond, v)
+	}
+	return reg
+}
+
+func TestPredictKneeLinearExtrapolation(t *testing.T) {
+	// Flat 0.25 utilization at 100K req/s: full busy at 400K, knee at 85%.
+	reg := utilReg([]float64{0.25, 0.25, 0.25, 0.25}, []float64{3, 3, 3, 3})
+	k := PredictKnee(reg, 100e3)
+	if !k.Valid {
+		t.Fatalf("estimate invalid: %s", k.Reason)
+	}
+	if k.Resource != "dispatcher" {
+		t.Fatalf("pivoted on %q, want dispatcher", k.Resource)
+	}
+	want := kneeUtilization * 100e3 / 0.25
+	if math.Abs(k.PredictedPerSec-want) > 1 {
+		t.Fatalf("predicted %.0f, want %.0f", k.PredictedPerSec, want)
+	}
+	if !strings.Contains(k.String(), "dispatcher") {
+		t.Fatalf("String() omits the pivot: %q", k.String())
+	}
+}
+
+func TestPredictKneePivotsOnHighestUtilization(t *testing.T) {
+	reg := utilReg([]float64{0.10, 0.10}, nil)
+	sm := reg.NewSeries("accel/gpu0/sm-util", 16)
+	sm.Add(0, 0.50)
+	sm.Add(50*time.Microsecond, 0.50)
+	k := PredictKnee(reg, 100e3)
+	if !k.Valid || k.Resource != "accel/gpu0" {
+		t.Fatalf("pivot = %q (valid=%v), want accel/gpu0", k.Resource, k.Valid)
+	}
+}
+
+func TestPredictKneeGrowingQueueCapsAtProbe(t *testing.T) {
+	// Backlog growing 4 items per 50µs = 80000/s: already past the knee.
+	reg := utilReg([]float64{0.5, 0.5, 0.5}, []float64{0, 4, 8})
+	k := PredictKnee(reg, 100e3)
+	if !k.Valid {
+		t.Fatalf("estimate invalid: %s", k.Reason)
+	}
+	if k.PredictedPerSec != 100e3 {
+		t.Fatalf("growing queue must cap the estimate at the probe rate, got %.0f", k.PredictedPerSec)
+	}
+}
+
+func TestPredictKneeEdgeCases(t *testing.T) {
+	flat := utilReg([]float64{0.25}, nil) // single-point series still works
+	if k := PredictKnee(flat, 100e3); !k.Valid || math.Abs(k.PredictedPerSec-kneeUtilization*400e3) > 1 {
+		t.Fatalf("single-point series: %+v", k)
+	}
+	cases := []struct {
+		name   string
+		reg    *metrics.Registry
+		rate   float64
+		reason string
+	}{
+		{"nil registry", nil, 100e3, "no utilization series"},
+		{"empty registry", metrics.NewRegistry(), 100e3, "no utilization series"},
+		{"empty series", utilReg(nil, nil), 100e3, "no utilization series"},
+		{"zero rate", utilReg([]float64{0.5}, nil), 0, "probe rate not positive"},
+		{"negative rate", utilReg([]float64{0.5}, nil), -1, "probe rate not positive"},
+		{"flat zero utilization", utilReg([]float64{0, 0, 0}, nil), 100e3, "below noise floor"},
+		{"sub-floor utilization", utilReg([]float64{0.01, 0.01}, nil), 100e3, "below noise floor"},
+	}
+	for _, c := range cases {
+		k := PredictKnee(c.reg, c.rate)
+		if k.Valid {
+			t.Fatalf("%s: estimate unexpectedly valid: %+v", c.name, k)
+		}
+		if !strings.Contains(k.Reason, c.reason) {
+			t.Fatalf("%s: reason %q does not mention %q", c.name, k.Reason, c.reason)
+		}
+		if k.PredictedPerSec != 0 {
+			t.Fatalf("%s: invalid estimate carries a prediction %.0f", c.name, k.PredictedPerSec)
+		}
+		if !strings.Contains(k.String(), "unpredictable") {
+			t.Fatalf("%s: String() = %q", c.name, k.String())
+		}
+	}
+}

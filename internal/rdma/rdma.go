@@ -492,11 +492,21 @@ func (qp *QP) WriteNotify(p *sim.Proc, region *memdev.Region, off int, data []by
 
 // Read performs a blocking one-sided RDMA READ of n bytes.
 func (qp *QP) Read(p *sim.Proc, region *memdev.Region, off, n int) []byte {
+	return qp.ReadCQE(p, region, off, n).Data
+}
+
+// ReadCQE performs a blocking one-sided RDMA READ like Read but returns the
+// full completion. CQE.At is the wire instant the memory snapshot was taken
+// at — under transport retries (fault plan go-back-N) completions are
+// delivered in posting order while snapshots land in wire order, so a caller
+// comparing successive reads of shared counters must order them by At, not by
+// delivery.
+func (qp *QP) ReadCQE(p *sim.Proc, region *memdev.Region, off, n int) CQE {
 	reply := qp.getReply()
 	qp.Post(p, WR{Op: OpRead, Region: region, Offset: off, Len: n, reply: reply})
 	cqe := reply.Get(p)
 	qp.putReply(reply)
-	return cqe.Data
+	return cqe
 }
 
 // Barrier performs the blocking RDMA-read write barrier of §5.1, forcing
@@ -643,14 +653,20 @@ func (qp *QP) WriteNotifyT(t *sim.Task, region *memdev.Region, off int, data []b
 // ReadT performs a one-sided RDMA READ of n bytes from a task; k runs with
 // the read bytes.
 func (qp *QP) ReadT(t *sim.Task, region *memdev.Region, off, n int, k func([]byte)) {
+	qp.ReadCQET(t, region, off, n, func(cqe CQE) { k(cqe.Data) })
+}
+
+// ReadCQET is ReadCQE for tasks: k runs with the full completion, whose At
+// field carries the snapshot instant (see ReadCQE).
+func (qp *QP) ReadCQET(t *sim.Task, region *memdev.Region, off, n int, k func(CQE)) {
 	reply := qp.getReply()
 	qp.PostT(t, WR{Op: OpRead, Region: region, Offset: off, Len: n, reply: reply}, func() {
 		if cqe, ok := reply.GetT(t, func(c CQE) {
 			qp.putReply(reply)
-			k(c.Data)
+			k(c)
 		}); ok {
 			qp.putReply(reply)
-			k(cqe.Data)
+			k(cqe)
 		}
 	})
 }

@@ -11,6 +11,9 @@
 //	lynxd -batch 8                 # batch the hot path end to end by 8
 //	lynxd -invariants              # arm runtime invariant checks
 //	lynxd -profile-json prof.json  # tail-latency attribution report on exit
+//	lynxd -nodes 3 -replicas 3     # replicated KV rack, writes quorum-replicated
+//	lynxd -nodes 3 -replicas 3 -stall-queue -1 -stall-at 100ms
+//	                               # ...and kill a replica mid-run (failover demo)
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"lynx"
+	"lynx/internal/apps/kvstore"
 	"lynx/internal/apps/lenet"
 	"lynx/internal/metrics"
 	"lynx/internal/model"
@@ -55,9 +59,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		loss       = fs.Float64("loss", 0, "inject datagram drop probability (0..1)")
 		dup        = fs.Float64("dup", 0, "inject datagram duplication probability (0..1)")
 		rdmaErr    = fs.Float64("rdma-err", 0, "inject RDMA completion error probability (0..1)")
-		stallQ     = fs.Int("stall-queue", -1, "accelerator queue to stall (-1 = none)")
+		stallQ     = fs.Int("stall-queue", -2, "accelerator queue to stall (-2 = none; -1 = all queues, the whole-accelerator kill)")
 		stallAt    = fs.Duration("stall-at", 50*time.Millisecond, "when the stall window opens")
 		stallFor   = fs.Duration("stall-for", 100*time.Millisecond, "how long the stalled queue stays dead")
+		nodes      = fs.Int("nodes", 1, "rack node count; >1 (or -replicas >1) boots the multi-node replicated KV rack instead of -app")
+		replicas   = fs.Int("replicas", 1, "rack replication factor: each write is applied on RF-1 peer accelerators before its response releases")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,8 +77,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fc := lynx.FaultConfig{
 		Seed: *seed, DropRate: *loss, DupRate: *dup, RDMAErrRate: *rdmaErr,
 	}
-	if *stallQ >= 0 {
-		fc.Stalls = []lynx.FaultStall{{Accel: "gpu0", Queue: *stallQ, At: *stallAt, For: *stallFor}}
+	rackMode := *nodes > 1 || *replicas > 1
+	if *stallQ >= -1 {
+		// Single-server stalls hit the serving GPU; in rack mode the stall
+		// targets node 1's accelerator — a replica kill, the failover demo.
+		accel := "gpu0"
+		if rackMode {
+			accel = "gpu1"
+		}
+		fc.Stalls = []lynx.FaultStall{{Accel: accel, Queue: *stallQ, At: *stallAt, For: *stallFor}}
+	}
+	if rackMode {
+		return runRack(*nodes, *replicas, *seed, fc, *clients, *retries, *rate, *secs, *invariants, stdout, stderr)
 	}
 	opts := []lynx.Option{lynx.WithSeed(*seed), lynx.WithFaults(fc)}
 	if bc, err := model.BatchConfigFromFlags(*batch, *batchCQ, *batchQuant); err != nil {
@@ -246,6 +262,85 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cluster.Close()
 	if *invariants {
 		rep := cluster.InvariantReport()
+		fmt.Fprintln(stdout, rep)
+		if !rep.OK() {
+			return 1
+		}
+	}
+	return 0
+}
+
+// runRack boots the multi-node replicated KV rack (-nodes / -replicas) and
+// drives a closed- or open-loop SET workload against node 0's owned keys,
+// printing periodic runtime and replication statistics. A -stall-queue window
+// freezes node 1's accelerator — the replica-kill failover demo.
+func runRack(nodes, replicas int, seed uint64, fc lynx.FaultConfig, clients, retries int, rate, secs float64, invariants bool, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "lynxd:", err)
+		return 1
+	}
+	cfg := lynx.RackConfig{Nodes: nodes, Replicas: replicas, Seed: seed, Faults: fc}
+	var ck *lynx.InvariantChecker
+	if invariants {
+		ck = lynx.NewInvariantChecker()
+		cfg.Check = ck
+	}
+	rack, err := lynx.BuildRack(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	keys := rack.OwnedKeys(0)
+	if len(keys) == 0 {
+		return fail(fmt.Errorf("node 0 owns no keys"))
+	}
+	target := rack.Node(0).Addr()
+	fmt.Fprintf(stdout, "lynxd: replicated KV rack, %d nodes RF=%d, writes to %s (%d keys owned by node 0)\n",
+		nodes, replicas, target, len(keys))
+
+	window := time.Duration(secs * float64(time.Second))
+	gen := workload.New(rack.TB.Sim, workload.Config{
+		Proto: workload.UDP, Target: target, Payload: 64,
+		Body: func(seq uint64, buf []byte) {
+			copy(buf[workload.SeqBytes:],
+				kvstore.EncodeSet(keys[seq%uint64(len(keys))], 0, []byte(fmt.Sprintf("value-%010d", seq))))
+		},
+		Clients: clients, RatePerSec: rate, Retries: retries,
+		Duration: window, Warmup: window / 10,
+		Timeout: 2 * time.Millisecond, Check: ck,
+	}, rack.Clients...)
+	res := gen.Run()
+
+	step := 100 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < window+window/10; elapsed += step {
+		rack.TB.Sim.RunUntil(rack.TB.Sim.Now().Add(step))
+		now := time.Duration(rack.TB.Sim.Now()).Round(time.Millisecond)
+		st := rack.Node(0).RT.Stats()
+		if repl := rack.Node(0).Repl; repl != nil {
+			fmt.Fprintf(stdout, "  t=%-8v %s repl{%s}\n", now, st, repl.Stats())
+		} else {
+			fmt.Fprintf(stdout, "  t=%-8v %s\n", now, st)
+		}
+	}
+	rack.TB.Sim.RunUntil(rack.TB.Sim.Now().Add(50 * time.Millisecond))
+	fmt.Fprintf(stdout, "\nresult: %v\n", *res)
+	if repl := rack.Node(0).Repl; repl != nil {
+		for j := 1; j < nodes; j++ {
+			slot, ok := rack.PeerSlot(0, j)
+			if !ok {
+				continue
+			}
+			if at, dead := repl.PeerDeadAt(slot); dead {
+				fmt.Fprintf(stdout, "replica %s: declared dead at t=%v\n",
+					repl.PeerName(slot), time.Duration(at).Round(time.Microsecond))
+			}
+		}
+	}
+	if fc.Enabled() {
+		fmt.Fprintf(stdout, "faults injected: %s\n", rack.TB.Faults.Stats())
+	}
+	rack.Close()
+	if invariants {
+		rep := ck.Snapshot()
 		fmt.Fprintln(stdout, rep)
 		if !rep.OK() {
 			return 1

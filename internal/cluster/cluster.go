@@ -1,0 +1,386 @@
+// Rack assembles the multi-node Lynx deployment of ROADMAP item 1: N server
+// machines — each a host with a BlueField SNIC and a GPU — cabled into
+// per-node top-of-rack switches that uplink to the wire backbone, running a
+// sharded, replicated key-value store. The shard map (consistent hashing,
+// shardmap.go) assigns every shard a primary and RF-1 replica nodes; each
+// primary's SNIC dispatcher drives the quorum protocol (core.AddReplication)
+// over one-sided RDMA into ingest mqueues that live in the peer accelerators'
+// memory, where persistent apply kernels replay the writes into the peer
+// stores and acknowledge through the same rings.
+//
+// A 1-node rack with Replicas=1 deliberately performs, operation for
+// operation, the same build sequence as the single-server deployments in
+// internal/experiments (no ToR, no replication layer, identical mqueue
+// geometry), so its output is byte-identical to the single-server harness —
+// the metamorphic golden test pins this.
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"lynx/internal/accel"
+	"lynx/internal/apps/kvstore"
+	"lynx/internal/check"
+	"lynx/internal/core"
+	"lynx/internal/fault"
+	"lynx/internal/model"
+	"lynx/internal/mqueue"
+	"lynx/internal/netstack"
+	"lynx/internal/snic"
+	"lynx/internal/trace"
+	"lynx/internal/workload"
+)
+
+const (
+	// ServicePort is the UDP port every node's KV service listens on.
+	ServicePort = 7000
+	// serveQueues is the per-node mqueue count (the single-server KV
+	// deployments use the same geometry).
+	serveQueues = 4
+	// slotBytes is the mqueue slot size shared by serving and ingest rings.
+	slotBytes = 128
+)
+
+// Config parameterizes a rack build.
+type Config struct {
+	// Nodes is the number of server nodes (default 1).
+	Nodes int
+	// Replicas is the replication factor: each shard has one primary and
+	// Replicas-1 peer replicas (default 1 = no replication; must not exceed
+	// Nodes).
+	Replicas int
+	// Seed is the simulation seed, used verbatim (callers matching the
+	// experiment harness convention pass their config seed +1 themselves).
+	Seed uint64
+	// Params are the model constants; nil uses a fresh model.Default copy.
+	Params *model.Params
+	// Faults is the deployment-wide fault plan (replica kills ride on
+	// fault.Stall windows against a peer's accelerator).
+	Faults fault.Config
+	// Check, when enabled, is installed as the testbed-wide invariant
+	// checker before any machine is built.
+	Check *check.Checker
+	// Tracer, when non-nil, records node 0's runtime events (the metamorphic
+	// trace artifact).
+	Tracer *trace.Tracer
+	// Shards is the shard-map size (default DefaultShards).
+	Shards int
+	// Keys preloads every node's store with key-%03d entries (default 512,
+	// the single-server convention).
+	Keys int
+	// Quorum is the peer-ack count a write needs before its response is
+	// released; 0 waits for every live peer in the shard's replica set.
+	Quorum int
+	// IngestSlots sizes each replication ingest ring (default 64).
+	IngestSlots int
+}
+
+// Node is one rack member and its full serving stack.
+type Node struct {
+	Index   int
+	Name    string
+	Machine *snic.Machine
+	BF      *snic.BlueField
+	GPU     *accel.GPU
+	RT      *core.Runtime
+	Svc     *core.Service
+	Store   *kvstore.Store
+	// Repl drives this node's outbound replication; nil when Replicas == 1.
+	Repl *core.Replicator
+
+	handle      *core.AccelHandle
+	peerSlot    map[int]int // rack node index -> AddPeer bit position
+	maskByShard []uint32
+}
+
+// Addr returns the node's service address.
+func (n *Node) Addr() netstack.Addr { return n.Svc.Addr() }
+
+// Rack is a built multi-node deployment.
+type Rack struct {
+	TB  *snic.Testbed
+	Map *ShardMap
+	// Clients are the load-generator hosts (client1, client2).
+	Clients []*netstack.Host
+
+	cfg     Config
+	nodes   []*Node
+	nameIdx map[string]int
+}
+
+// Build constructs the rack: hardware, shard map, runtimes, stores,
+// replication wiring, apply kernels, serving kernels — started and ready for
+// traffic on the testbed's virtual clock.
+func Build(cfg Config) (*Rack, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: replication factor %d exceeds %d nodes", cfg.Replicas, cfg.Nodes)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 512
+	}
+	if cfg.IngestSlots <= 0 {
+		cfg.IngestSlots = 64
+	}
+	p := cfg.Params
+	if p == nil {
+		def := model.Default()
+		p = &def
+	}
+
+	tb := snic.NewTestbedWith(cfg.Seed, p, cfg.Faults)
+	tb.EnableInvariants(cfg.Check)
+	r := &Rack{TB: tb, Map: NewShardMap(cfg.Shards), cfg: cfg, nameIdx: make(map[string]int)}
+
+	// Hardware: one rack switch per node when the deployment spans several
+	// machines; the 1-node build cables straight into the backbone, exactly
+	// like the single-server testbeds.
+	for i := 0; i < cfg.Nodes; i++ {
+		name := fmt.Sprintf("server%d", i+1)
+		var m *snic.Machine
+		if cfg.Nodes == 1 {
+			m = tb.NewMachine(name, 6)
+		} else {
+			tor := tb.AddToR(fmt.Sprintf("tor%d", i+1))
+			m = tb.NewMachineAt(name, 6, tor)
+		}
+		bf := m.AttachBlueField(fmt.Sprintf("bf%d", i+1))
+		gpu := m.AddGPU(fmt.Sprintf("gpu%d", i), accel.K40m, false, name)
+		if err := r.Map.Join(name); err != nil {
+			return nil, err
+		}
+		r.nameIdx[name] = i
+		r.nodes = append(r.nodes, &Node{
+			Index: i, Name: name, Machine: m, BF: bf, GPU: gpu,
+			peerSlot: make(map[int]int),
+		})
+	}
+	r.Clients = []*netstack.Host{tb.AddClient("client1"), tb.AddClient("client2")}
+
+	// Runtimes, services, preloaded stores.
+	for i, n := range r.nodes {
+		plat := n.BF.Platform(7)
+		if i == 0 && cfg.Tracer != nil {
+			plat.Tracer = cfg.Tracer
+		}
+		rt := core.NewRuntime(plat)
+		h, err := rt.Register(n.GPU, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: slotBytes}, serveQueues)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := rt.AddService(core.UDP, ServicePort, nil, serveQueues, h)
+		if err != nil {
+			return nil, err
+		}
+		store := kvstore.NewStore(16, 0)
+		for k := 0; k < cfg.Keys; k++ {
+			store.Set(fmt.Sprintf("key-%03d", k), 0, []byte("value-0123456789"))
+		}
+		n.RT, n.Svc, n.Store, n.handle = rt, svc, store, h
+	}
+
+	// Replication wiring: every primary registers an ingest ring in each
+	// peer's accelerator memory; masks are precomputed per shard so the
+	// dispatch-path classifier stays allocation-free.
+	type ingestWiring struct {
+		target *Node
+		h      *core.AccelHandle
+	}
+	var wirings []ingestWiring
+	if cfg.Replicas > 1 {
+		for i, n := range r.nodes {
+			repl, err := n.RT.AddReplication(n.Svc, core.ReplConfig{
+				Classify: r.classifierFor(n),
+				Quorum:   cfg.Quorum,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n.Repl = repl
+			for j, peer := range r.nodes {
+				if j == i {
+					continue
+				}
+				h, err := repl.AddPeer(peer.Name, peer.GPU,
+					mqueue.Config{Kind: mqueue.ServerQueue, Slots: cfg.IngestSlots, SlotSize: slotBytes})
+				if err != nil {
+					return nil, err
+				}
+				n.peerSlot[j] = repl.PeerCount() - 1
+				wirings = append(wirings, ingestWiring{target: peer, h: h})
+			}
+			n.maskByShard = make([]uint32, cfg.Shards)
+			for s := 0; s < cfg.Shards; s++ {
+				reps := r.Map.Replicas(s, cfg.Replicas)
+				if len(reps) == 0 || reps[0] != n.Name {
+					continue // not the primary: serve locally, replicate nothing
+				}
+				var mask uint32
+				for _, member := range reps[1:] {
+					mask |= 1 << uint(n.peerSlot[r.nameIdx[member]])
+				}
+				n.maskByShard[s] = mask
+			}
+		}
+	}
+
+	// Apply kernels: one persistent threadblock per ingest ring, on the
+	// target node's GPU, replaying records into the target's store and
+	// acknowledging with the record's id header.
+	opCost := p.MemcachedOpXeon
+	for _, w := range wirings {
+		aq := w.h.AccelQueues()[0]
+		store := w.target.Store
+		if err := w.target.GPU.LaunchPersistent(tb.Sim, 1, func(t *accel.TB) {
+			for {
+				m := aq.Recv(t.Proc())
+				if len(m.Payload) < workload.SeqBytes {
+					continue
+				}
+				t.Compute(opCost)
+				store.ServeRaw(m.Payload[workload.SeqBytes:])
+				if aq.Send(t.Proc(), uint16(m.Slot), core.ReplicaAck(m.Payload)) != nil {
+					return
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Serving kernels and runtime start, one node at a time. The body is the
+	// single-server KV deployment's, verbatim.
+	for _, n := range r.nodes {
+		qs := n.handle.AccelQueues()
+		store := n.Store
+		if err := n.GPU.LaunchPersistent(tb.Sim, serveQueues, func(t *accel.TB) {
+			aq := qs[t.Index()]
+			for {
+				m := aq.Recv(t.Proc())
+				if len(m.Payload) < workload.SeqBytes {
+					continue
+				}
+				t.Compute(opCost)
+				reply := store.ServeRaw(m.Payload[workload.SeqBytes:])
+				out := make([]byte, workload.SeqBytes+len(reply))
+				copy(out, m.Payload[:workload.SeqBytes])
+				copy(out[workload.SeqBytes:], reply)
+				if aq.Send(t.Proc(), uint16(m.Slot), out) != nil {
+					return
+				}
+			}
+		}); err != nil {
+			return nil, err
+		}
+		if err := n.RT.Start(); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+var (
+	setPrefix = []byte("set ")
+	delPrefix = []byte("delete ")
+)
+
+// classifierFor builds n's dispatch-path classifier: writes (set/delete) are
+// keyed, sharded, and mapped to the precomputed peer mask of the shard this
+// node is primary for. Pure bookkeeping — no allocation, no simulation
+// operations — so the dispatch hot path stays substrate-parity clean.
+func (r *Rack) classifierFor(n *Node) func([]byte) (uint64, uint32, bool) {
+	return func(payload []byte) (uint64, uint32, bool) {
+		if len(payload) <= workload.SeqBytes {
+			return 0, 0, false
+		}
+		body := payload[workload.SeqBytes:]
+		var key []byte
+		switch {
+		case bytes.HasPrefix(body, setPrefix):
+			key = body[len(setPrefix):]
+		case bytes.HasPrefix(body, delPrefix):
+			key = body[len(delPrefix):]
+		default:
+			return 0, 0, false
+		}
+		if i := bytes.IndexByte(key, ' '); i >= 0 {
+			key = key[:i]
+		}
+		if i := bytes.IndexByte(key, '\r'); i >= 0 {
+			key = key[:i]
+		}
+		id := binary.LittleEndian.Uint64(payload)
+		return id, n.maskByShard[r.Map.ShardOfBytes(key)], true
+	}
+}
+
+// Nodes returns the node count.
+func (r *Rack) Nodes() int { return len(r.nodes) }
+
+// Node returns rack member i.
+func (r *Rack) Node(i int) *Node { return r.nodes[i] }
+
+// Replicas returns the rack's replication factor.
+func (r *Rack) Replicas() int { return r.cfg.Replicas }
+
+// Keys returns the preloaded key-universe size.
+func (r *Rack) Keys() int { return r.cfg.Keys }
+
+// PeerSlot reports the AddPeer bit position of peer within primary's
+// replicator (for ReplicationLag and targeted assertions).
+func (r *Rack) PeerSlot(primary, peer int) (int, bool) {
+	s, ok := r.nodes[primary].peerSlot[peer]
+	return s, ok
+}
+
+// PrimaryFor returns the node index owning key's shard.
+func (r *Rack) PrimaryFor(key string) int {
+	name, _ := r.Map.OwnerOf(key)
+	return r.nameIdx[name]
+}
+
+// ReplicaSet returns the node indices of key's replica set, primary first.
+func (r *Rack) ReplicaSet(key string) []int {
+	reps := r.Map.Replicas(r.Map.ShardOf(key), r.cfg.Replicas)
+	out := make([]int, len(reps))
+	for i, name := range reps {
+		out[i] = r.nameIdx[name]
+	}
+	return out
+}
+
+// Measure drives a workload from the rack's client hosts to completion on
+// the rack's virtual clock.
+func (r *Rack) Measure(wcfg workload.Config) workload.Result {
+	if wcfg.Check == nil {
+		wcfg.Check = r.cfg.Check
+	}
+	g := workload.New(r.TB.Sim, wcfg, r.Clients...)
+	return workload.RunFor(r.TB.Sim, g)
+}
+
+// Close shuts the rack's simulation down, unwinding all processes (and
+// evaluating end-of-run invariant finishers when a checker was installed).
+func (r *Rack) Close() { r.TB.Sim.Shutdown() }
+
+// OwnedKeys lists the preloaded keys whose primary is node i, in key order.
+func (r *Rack) OwnedKeys(i int) []string {
+	var out []string
+	for k := 0; k < r.cfg.Keys; k++ {
+		key := fmt.Sprintf("key-%03d", k)
+		if r.PrimaryFor(key) == i {
+			out = append(out, key)
+		}
+	}
+	return out
+}

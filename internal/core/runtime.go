@@ -139,10 +139,11 @@ type Runtime struct {
 	cores  *sim.Resource
 	serial *sim.Resource
 
-	handles   []*AccelHandle
-	services  []*Service
-	clients   []*ClientBinding
-	pipelines []*Pipeline
+	handles     []*AccelHandle
+	services    []*Service
+	clients     []*ClientBinding
+	pipelines   []*Pipeline
+	replicators []*Replicator
 
 	started bool
 
@@ -227,6 +228,11 @@ func NewRuntime(plat Platform) *Runtime {
 						}
 					}
 				}
+			}
+			// Responses parked by a replication layer for peer acks were
+			// popped from their FIFOs but not yet answered.
+			for _, r := range rt.replicators {
+				inflight += r.held
 			}
 			inflight += rt.inTransit
 			st := rt.stats
@@ -324,27 +330,40 @@ type AccelHandle struct {
 // This models the host-CPU initialization step: the host sets everything up,
 // passes the pointers around, and "remains idle from that point" (§4.3).
 func (rt *Runtime) Register(acc accel.Accelerator, cfg mqueue.Config, n int) (*AccelHandle, error) {
+	return rt.register(acc, cfg, n, fmt.Sprintf("lynx-mq%d", len(rt.handles)), acc.RemoteHost() != "", true)
+}
+
+// register is Register with an explicit region name (several runtimes can
+// allocate in the same accelerator's memory — replication ingest queues do),
+// QP remoteness, and span wiring.
+func (rt *Runtime) register(acc accel.Accelerator, cfg mqueue.Config, n int, region string, remote, spans bool) (*AccelHandle, error) {
 	if rt.started {
 		return nil, fmt.Errorf("core: cannot register accelerators after Start")
 	}
-	region, err := acc.Device().Mem.Alloc(fmt.Sprintf("lynx-mq%d", len(rt.handles)), mqueue.GroupFootprint(cfg, n))
+	mem, err := acc.Device().Mem.Alloc(region, mqueue.GroupFootprint(cfg, n))
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating mqueue region on %s: %w", acc.Name(), err)
 	}
 	qp := rt.plat.RDMA.CreateQP(acc.Device(), rdma.QPConfig{
 		Kind:   rdma.RC,
-		Remote: acc.RemoteHost() != "",
+		Remote: remote,
 	})
 	cfg.Check = rt.plat.Check
-	cfg.Spans = rt.plat.Spans
-	group, err := mqueue.NewGroup(region, 0, cfg, n, qp)
+	if spans {
+		cfg.Spans = rt.plat.Spans
+	}
+	group, err := mqueue.NewGroup(mem, 0, cfg, n, qp)
 	if err != nil {
 		return nil, err
 	}
 	prof := acc.Profile()
-	prof.Spans = rt.plat.Spans
+	if spans {
+		prof.Spans = rt.plat.Spans
+	} else {
+		prof.Spans = nil
+	}
 	prof.Check = rt.plat.Check
-	accQs, err := mqueue.AttachGroup(region, 0, cfg, n, prof)
+	accQs, err := mqueue.AttachGroup(mem, 0, cfg, n, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -505,6 +524,12 @@ type Service struct {
 
 	udpSock *netstack.UDPSocket
 	tcpList *netstack.TCPListener
+
+	// repl, when non-nil, replicates the service's writes to peer
+	// accelerators before their responses are released (see replicate.go).
+	// Every hook on the hot paths is gated on this pointer, so an
+	// unreplicated service executes exactly the pre-replication sequence.
+	repl *Replicator
 }
 
 // AddService exposes `count` mqueues of each given accelerator handle as one
@@ -599,6 +624,9 @@ func (s *Service) dispatch(p *sim.Proc, payload []byte, to replyTo, from netstac
 	bq.pending[slot] = append(bq.pending[slot], to)
 	rt.stats.Received++
 	rt.plat.Tracer.Emit(p.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+	if s.repl != nil {
+		s.repl.onDispatch(payload)
+	}
 }
 
 // forwardResponse routes one TX message of a server queue back to its
@@ -618,6 +646,10 @@ func (s *Service) forwardResponse(p *sim.Proc, bq *boundQueue, msg mqueue.TxMsg)
 	}
 	to := fifo[0]
 	bq.pending[msg.Corr] = fifo[1:]
+	if s.repl != nil && s.repl.onResponse(to, msg.Payload) {
+		// Parked for peer acks: the replicator's pump finishes the forward.
+		return
+	}
 	rt.inTransit++
 	switch s.proto {
 	case UDP:
@@ -708,6 +740,9 @@ func (s *Service) dispatchBatch(p *sim.Proc, dgs []netstack.Datagram) {
 		bq.pending[slot] = append(bq.pending[slot], replyTo{udpFrom: dgs[i].From})
 		rt.stats.Received++
 		rt.plat.Tracer.Emit(p.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+		if s.repl != nil {
+			s.repl.onDispatch(payload)
+		}
 		preps = append(preps, preparedWR{wr: wr, qp: bq.q.QP()})
 	}
 	// Post per QP in first-appearance order (queues of one accelerator share
@@ -763,6 +798,9 @@ func (s *Service) forwardResponseBatch(p *sim.Proc, bq *boundQueue, msgs []mqueu
 		}
 		to := fifo[0]
 		bq.pending[msg.Corr] = fifo[1:]
+		if s.repl != nil && s.repl.onResponse(to, msg.Payload) {
+			continue
+		}
 		rt.inTransit++
 		switch s.proto {
 		case UDP:
@@ -1104,6 +1142,15 @@ func (rt *Runtime) Start() error {
 		}
 	}
 
+	// Replication delivery pumps: one per replicated service, flushing
+	// record outboxes into peer ingest rings and finishing the forward of
+	// responses whose quorum was met. Spawned only when a replicator
+	// exists, so unreplicated runtimes schedule exactly as before.
+	for _, r := range rt.replicators {
+		r := r
+		s.Spawn(fmt.Sprintf("lynx/repl-pump:%d", r.svc.port), r.pump)
+	}
+
 	// Remote MQ manager + message forwarder: one sweep process per
 	// accelerator (its QP context), draining TX rings with batched header
 	// polling.
@@ -1114,6 +1161,7 @@ func (rt *Runtime) Start() error {
 		pl      *Pipeline
 		plStage int
 		pq      *pipeQueue
+		rp      *replPeer
 	}
 	for _, h := range rt.handles {
 		h := h
@@ -1144,6 +1192,18 @@ func (rt *Runtime) Start() error {
 						if h.group.Queue(i) == pq.q {
 							sinks[i] = sink{pl: pl, plStage: si, pq: pq}
 						}
+					}
+				}
+			}
+		}
+		for _, r := range rt.replicators {
+			for _, rp := range r.peers {
+				if rp.h != h {
+					continue
+				}
+				for i := 0; i < h.group.Len(); i++ {
+					if h.group.Queue(i) == rp.q {
+						sinks[i] = sink{rp: rp}
 					}
 				}
 			}
@@ -1247,6 +1307,11 @@ func (rt *Runtime) Start() error {
 									sk.pl.advanceT(t, sk.plStage, sk.pq, txBuf[j], func() { adv(j + 1) })
 								}
 								adv(0)
+							case sk.rp != nil:
+								for j := 0; j < k; j++ {
+									sk.rp.r.onAck(sk.rp, txBuf[j].Payload)
+								}
+								drainQ(i)
 							default:
 								drainQ(i)
 							}
@@ -1268,6 +1333,9 @@ func (rt *Runtime) Start() error {
 							sk.cb.forwardOutT(t, msg, next)
 						case sk.pl != nil:
 							sk.pl.advanceT(t, sk.plStage, sk.pq, msg, next)
+						case sk.rp != nil:
+							sk.rp.r.onAck(sk.rp, msg.Payload)
+							next()
 						default:
 							next()
 						}
@@ -1295,6 +1363,12 @@ func (rt *Runtime) Start() error {
 								bq.failed = true
 								rt.stats.Failovers++
 								rt.plat.Tracer.Emit(t.Now(), trace.Failover, uint64(i), 0)
+							}
+							// A frozen replication ingest ring is a dead
+							// peer: waive its acks and release every
+							// response blocked only on it.
+							if rp := sinks[i].rp; rp != nil {
+								rp.r.killPeer(t.Now(), rp)
 							}
 						}
 						visit(i + nMgr)

@@ -139,6 +139,9 @@ func (s *Service) dispatchT(t *sim.Task, payload []byte, to replyTo, from netsta
 			bq.pending[slot] = append(bq.pending[slot], to)
 			rt.stats.Received++
 			rt.plat.Tracer.Emit(t.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+			if s.repl != nil {
+				s.repl.onDispatch(payload)
+			}
 			k()
 		})
 	})
@@ -205,6 +208,9 @@ func (s *Service) dispatchBatchT(t *sim.Task, dgs []netstack.Datagram, k func())
 			bq.pending[slot] = append(bq.pending[slot], replyTo{udpFrom: dgs[i].From})
 			rt.stats.Received++
 			rt.plat.Tracer.Emit(t.Now(), trace.Dispatch, uint64(qi), uint64(slot))
+			if s.repl != nil {
+				s.repl.onDispatch(dgs[i].Payload)
+			}
 			preps = append(preps, preparedWR{wr: wr, qp: bq.q.QP()})
 		}
 		prep = func(i int) {
@@ -256,6 +262,12 @@ func (s *Service) forwardResponseT(t *sim.Task, bq *boundQueue, msg mqueue.TxMsg
 		}
 		to := fifo[0]
 		bq.pending[msg.Corr] = fifo[1:]
+		if s.repl != nil && s.repl.onResponse(to, msg.Payload) {
+			// Parked for peer acks: the replicator's pump finishes the
+			// forward (same rule as the coroutine form).
+			k()
+			return
+		}
 		rt.inTransit++
 		finish := func(qw time.Duration) {
 			rt.stats.Responded++
@@ -315,6 +327,9 @@ func (s *Service) forwardResponseBatchT(t *sim.Task, bq *boundQueue, msgs []mque
 				}
 				to := fifo[0]
 				bq.pending[msg.Corr] = fifo[1:]
+				if s.repl != nil && s.repl.onResponse(to, msg.Payload) {
+					continue
+				}
 				rt.inTransit++
 				switch s.proto {
 				case UDP:

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReplicationIdentity pins ROADMAP item 1's RF-1 byte-identity claim from
+// both directions. Metamorphic: the 1-node RF=1 rack built by
+// internal/cluster must produce the exact measured result and runtime event
+// trace of the hand-built single-server KV deployment (same seed, same
+// workload) — the replication hooks must be invisible when dormant. Golden:
+// both must match the committed artifacts, so any cross-release drift in the
+// single-server event sequence shows up as a byte diff here too.
+//
+// To regenerate after an intentional semantic change (and say so in the
+// commit message):
+//
+//	LYNX_UPDATE_GOLDENS=1 go test ./internal/experiments/ -run TestReplicationIdentity
+func TestReplicationIdentity(t *testing.T) {
+	cfg := Config{Seed: 7, Scale: 0.25, Workers: 1}
+	rackRep, rackTrace := replicationIdentity(cfg, true)
+	singleRep, singleTrace := replicationIdentity(cfg, false)
+
+	rackCSV, singleCSV := rackRep.CSV(), singleRep.CSV()
+	if rackCSV != singleCSV {
+		t.Errorf("RF=1 rack CSV diverges from the single-server deployment:\n%s",
+			firstDiff(rackCSV, singleCSV))
+	}
+	rackEvents := strings.Join(rackTrace, "\n") + "\n"
+	singleEvents := strings.Join(singleTrace, "\n") + "\n"
+	if rackEvents != singleEvents {
+		t.Errorf("RF=1 rack event trace diverges from the single-server deployment (%d vs %d events):\n%s",
+			len(rackTrace), len(singleTrace), firstDiff(rackEvents, singleEvents))
+	}
+
+	csvPath := "testdata/pr9_replication_identity_scale025_seed7.csv"
+	tracePath := "testdata/pr9_replication_identity_scale025_seed7_trace.txt"
+	if os.Getenv("LYNX_UPDATE_GOLDENS") != "" {
+		if err := os.WriteFile(csvPath, []byte(rackCSV), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tracePath, []byte(rackEvents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("goldens updated: %s, %s", csvPath, tracePath)
+		return
+	}
+	wantCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rackCSV != string(wantCSV) {
+		t.Errorf("replication identity CSV drifted from the PR 9 golden:\n%s",
+			firstDiff(rackCSV, string(wantCSV)))
+	}
+	wantTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rackEvents != string(wantTrace) {
+		t.Errorf("replication identity trace drifted from the PR 9 golden (%d bytes, want %d):\n%s",
+			len(rackEvents), len(wantTrace), firstDiff(rackEvents, string(wantTrace)))
+	}
+}

@@ -56,6 +56,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		dispatcherRank                       float64
 		kneeGain                             float64
 		fig6KneeRatio, fig9KneeRatio         float64
+		replLagMs, replFloor                 float64
 	)
 	tasks := []func(){
 		func() { _, invOverhead = invocationOverhead(cfg) },
@@ -86,6 +87,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		func() { kneeGain = batchKneeGain(cfg) },
 		func() { fig6KneeRatio = fig6Knee(cfg).ratio() },
 		func() { fig9KneeRatio = fig9Knee(cfg).ratio() },
+		func() { replLagMs, replFloor = replicationFailover(cfg) },
 	}
 	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
 
@@ -120,6 +122,9 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 
 		"sentinel.fig6_knee_ratio": fig6KneeRatio,
 		"sentinel.fig9_knee_ratio": fig9KneeRatio,
+
+		"replication.failover_ms":   replLagMs,
+		"replication.goodput_floor": replFloor,
 	}
 }
 

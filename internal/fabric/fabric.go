@@ -115,6 +115,29 @@ func (f *Fabric) AddSwitch(name string) *Switch {
 	return sw
 }
 
+// ToR is a top-of-rack switch: an ordinary fabric switch plus its recorded
+// uplink into the backbone, so rack-local hops and uplink hops are separate
+// links with separate utilization accounting. Machines cabled into a ToR
+// reach rack peers in one switch hop and the rest of the world through the
+// uplink.
+type ToR struct {
+	sw     *Switch
+	uplink *Link
+}
+
+// AddToR registers a rack switch and connects it to the backbone switch with
+// a link of the given one-way latency and bandwidth (bits/second).
+func (f *Fabric) AddToR(name string, backbone *Switch, latency time.Duration, bandwidth float64) *ToR {
+	sw := f.AddSwitch(name)
+	return &ToR{sw: sw, uplink: f.Connect(sw, backbone, latency, bandwidth)}
+}
+
+// Switch returns the rack switch node, for cabling machines into the rack.
+func (t *ToR) Switch() *Switch { return t.sw }
+
+// Uplink returns the ToR's backbone link (for utilization probes).
+func (t *ToR) Uplink() *Link { return t.uplink }
+
 func (f *Fabric) register(name string, n Node) {
 	if _, dup := f.nodes[name]; dup {
 		panic(fmt.Sprintf("fabric: duplicate node %q", name))

@@ -107,16 +107,40 @@ type Machine struct {
 	NetHost *netstack.Host
 	Driver  *accel.Driver
 
+	// wire is the switch this machine's NIC devices cable into: the flat
+	// backbone (tb.IB) for single-rack testbeds, or a ToR switch for
+	// machines placed with NewMachineAt.
+	wire *fabric.Switch
+
 	gpus int
 }
 
-// NewMachine adds a server with the given number of Xeon cores.
+// NewMachine adds a server with the given number of Xeon cores, cabled
+// directly into the wire backbone.
 func (tb *Testbed) NewMachine(name string, cores int) *Machine {
+	return tb.newMachine(name, cores, tb.IB)
+}
+
+// AddToR adds a named top-of-rack switch uplinked to the wire backbone.
+// Machines placed at the ToR with NewMachineAt reach each other in one
+// rack-local hop; traffic to machines outside the rack crosses the uplink.
+func (tb *Testbed) AddToR(name string) *fabric.ToR {
+	p := tb.Params
+	return tb.Fab.AddToR(name, tb.IB, p.WirePropagation, p.WireBandwidth)
+}
+
+// NewMachineAt is NewMachine with the machine's NICs cabled into a rack
+// switch instead of directly into the backbone.
+func (tb *Testbed) NewMachineAt(name string, cores int, tor *fabric.ToR) *Machine {
+	return tb.newMachine(name, cores, tor.Switch())
+}
+
+func (tb *Testbed) newMachine(name string, cores int, wire *fabric.Switch) *Machine {
 	p := tb.Params
 	sw := tb.Fab.AddSwitch(name + "/pcie")
 	nic := tb.Fab.AddDevice(name+"/nic", nil)
 	tb.Fab.Connect(nic, sw, p.PCIeSwitchLatency, p.PCIeBandwidth)
-	tb.Fab.Connect(nic, tb.IB, p.WirePropagation, p.WireBandwidth)
+	tb.Fab.Connect(nic, wire, p.WirePropagation, p.WireBandwidth)
 	m := &Machine{
 		TB:      tb,
 		Name:    name,
@@ -126,6 +150,7 @@ func (tb *Testbed) NewMachine(name string, cores int) *Machine {
 		RDMA:    rdma.NewEngine(tb.Sim, p, tb.Fab, nic),
 		NetHost: tb.Net.AddHost(name),
 		Driver:  accel.NewDriver(tb.Sim, p),
+		wire:    wire,
 	}
 	m.RDMA.SetFaults(tb.Faults)
 	return m
@@ -203,7 +228,7 @@ func (m *Machine) AttachBlueField(name string) *BlueField {
 	nic := tb.Fab.AddDevice(name+"/nic-asic", nil)
 	tb.Fab.Connect(nic, bfSwitch, p.PCIeSwitchLatency, p.PCIeBandwidth)
 	tb.Fab.Connect(bfSwitch, m.Switch, p.PCIeLatency, p.PCIeBandwidth)
-	tb.Fab.Connect(nic, tb.IB, p.WirePropagation, p.WireBandwidth)
+	tb.Fab.Connect(nic, m.wire, p.WirePropagation, p.WireBandwidth)
 	bf := &BlueField{
 		Host:    m,
 		ARM:     cpuarch.New(tb.Sim, p, name+"/arm", model.ARMCore, 8),
@@ -273,7 +298,7 @@ func (m *Machine) AttachInnova(name string) *Innova {
 	p := tb.Params
 	nic := tb.Fab.AddDevice(name+"/fpga-nic", nil)
 	tb.Fab.Connect(nic, m.Switch, p.PCIeSwitchLatency, p.PCIeBandwidth)
-	tb.Fab.Connect(nic, tb.IB, p.WirePropagation, p.WireBandwidth)
+	tb.Fab.Connect(nic, m.wire, p.WirePropagation, p.WireBandwidth)
 	in := &Innova{
 		Host:     m,
 		NIC:      nic,

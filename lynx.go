@@ -21,6 +21,7 @@ import (
 
 	"lynx/internal/accel"
 	"lynx/internal/check"
+	"lynx/internal/cluster"
 	"lynx/internal/core"
 	"lynx/internal/fault"
 	"lynx/internal/model"
@@ -118,6 +119,30 @@ type (
 	// with WithBatching. The zero value batches nothing: batch size 1
 	// everywhere, byte-identical to a cluster built without the option.
 	BatchConfig = model.BatchConfig
+	// RackConfig parameterizes a multi-node rack build (node count,
+	// replication factor, shard universe, fault plan); pass it to BuildRack.
+	RackConfig = cluster.Config
+	// Rack is a built multi-node deployment: N SNIC-driven KV servers behind
+	// per-node ToR switches, sharded by a consistent-hash ShardMap, with
+	// each primary's SNIC dispatcher replicating writes to peer accelerators
+	// over one-sided RDMA.
+	Rack = cluster.Rack
+	// RackNode is one rack member (machine, SmartNIC, GPU, runtime, store).
+	RackNode = cluster.Node
+	// ShardMap is the consistent-hash membership and key-placement map racks
+	// shard by; it is also usable standalone via NewShardMap.
+	ShardMap = cluster.ShardMap
+	// Replicator drives one service's SNIC-side replication quorum; obtain
+	// it from a RackNode (or wire one manually with (*Server).AddReplication).
+	Replicator = core.Replicator
+	// ReplConfig parameterizes a service's replication layer (write
+	// classifier and quorum size).
+	ReplConfig = core.ReplConfig
+	// ReplStats is a Replicator's counter snapshot.
+	ReplStats = core.ReplStats
+	// InvariantChecker collects runtime invariant violations; create one
+	// with NewInvariantChecker when arming a RackConfig.
+	InvariantChecker = check.Checker
 )
 
 // Protocols and queue kinds.
@@ -135,6 +160,22 @@ const (
 // DefaultParams returns the calibrated model constants (a copy, free to
 // modify before NewCluster).
 func DefaultParams() Params { return model.Default() }
+
+// BuildRack constructs a multi-node, sharded, replicated KV rack on its own
+// simulated testbed: hardware, shard map, runtimes, stores, replication
+// wiring and apply kernels, started and ready for traffic. A 1-node RF=1
+// rack is byte-identical to the equivalent single-server deployment.
+//
+//	rack, err := lynx.BuildRack(lynx.RackConfig{Nodes: 3, Replicas: 3, Seed: 42})
+func BuildRack(cfg RackConfig) (*Rack, error) { return cluster.Build(cfg) }
+
+// NewShardMap creates an empty consistent-hash shard map over the given
+// shard universe (the default when shards <= 0).
+func NewShardMap(shards int) *ShardMap { return cluster.NewShardMap(shards) }
+
+// NewInvariantChecker creates a checker to install in a RackConfig; read its
+// findings with Snapshot after the rack is Closed.
+func NewInvariantChecker() *InvariantChecker { return check.New() }
 
 // Option configures a Cluster at construction time.
 type Option func(*clusterConfig)

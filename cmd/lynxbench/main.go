@@ -66,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batchCQ    = fs.Int("batch-cq", 0, "completion/TX drain budget (0 = follow -batch)")
 		batchQuant = fs.Int("batch-quantum", 0, "dispatcher scheduling quantum in messages (0 = follow -batch)")
 		traceJSON  = fs.String("trace-json", "", "write a Chrome trace-event timeline from instrumented experiments (breakdown) to this file")
+		rackTrace  = fs.String("rack-trace-json", "", "write the rack-wide Chrome trace-event timeline (one process-track block per node) from rack experiments (replbreakdown) to this file")
+		rackMet    = fs.String("rack-metrics-json", "", "write the deterministic rack telemetry rollup (per-node stats and monitor series) from rack experiments (replbreakdown) to this file")
 		profJSON   = fs.String("profile-json", "", "write the tail-latency attribution report (wait/service decomposition, bottleneck ranking, flight recorder) from instrumented experiments (breakdown, attribution) to this file")
 		topN       = fs.Int("top", 0, "print the N slowest requests (status, per-phase wait/service) after the runs")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -131,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lynxbench:", err)
 		return 2
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON, ProfileJSON: *profJSON, Batch: bc}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Workers: workers, TraceJSON: *traceJSON, ProfileJSON: *profJSON, RackTraceJSON: *rackTrace, RackMetricsJSON: *rackMet, Batch: bc}
 	if *topN > 0 {
 		cfg.Top = experiments.NewTopCollector(*topN)
 	}

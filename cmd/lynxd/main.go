@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stallFor   = fs.Duration("stall-for", 100*time.Millisecond, "how long the stalled queue stays dead")
 		nodes      = fs.Int("nodes", 1, "rack node count; >1 (or -replicas >1) boots the multi-node replicated KV rack instead of -app")
 		replicas   = fs.Int("replicas", 1, "rack replication factor: each write is applied on RF-1 peer accelerators before its response releases")
+		rackTrace  = fs.String("rack-trace-json", "", "rack mode: arm per-node telemetry and write the rack-wide Chrome trace-event timeline (one process-track block per node) to this file")
+		rackMet    = fs.String("rack-metrics-json", "", "rack mode: arm per-node telemetry and write the rack telemetry rollup (per-node stats and monitor series) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fc.Stalls = []lynx.FaultStall{{Accel: accel, Queue: *stallQ, At: *stallAt, For: *stallFor}}
 	}
 	if rackMode {
-		return runRack(*nodes, *replicas, *seed, fc, *clients, *retries, *rate, *secs, *invariants, stdout, stderr)
+		return runRack(*nodes, *replicas, *seed, fc, *clients, *retries, *rate, *secs, *invariants, *rackTrace, *rackMet, stdout, stderr)
 	}
 	opts := []lynx.Option{lynx.WithSeed(*seed), lynx.WithFaults(fc)}
 	if bc, err := model.BatchConfigFromFlags(*batch, *batchCQ, *batchQuant); err != nil {
@@ -274,12 +276,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 // drives a closed- or open-loop SET workload against node 0's owned keys,
 // printing periodic runtime and replication statistics. A -stall-queue window
 // freezes node 1's accelerator — the replica-kill failover demo.
-func runRack(nodes, replicas int, seed uint64, fc lynx.FaultConfig, clients, retries int, rate, secs float64, invariants bool, stdout, stderr io.Writer) int {
+func runRack(nodes, replicas int, seed uint64, fc lynx.FaultConfig, clients, retries int, rate, secs float64, invariants bool, rackTrace, rackMet string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "lynxd:", err)
 		return 1
 	}
 	cfg := lynx.RackConfig{Nodes: nodes, Replicas: replicas, Seed: seed, Faults: fc}
+	if rackTrace != "" || rackMet != "" {
+		cfg.Telemetry = &lynx.RackTelemetry{}
+	}
 	var ck *lynx.InvariantChecker
 	if invariants {
 		ck = lynx.NewInvariantChecker()
@@ -307,6 +312,9 @@ func runRack(nodes, replicas int, seed uint64, fc lynx.FaultConfig, clients, ret
 		Clients: clients, RatePerSec: rate, Retries: retries,
 		Duration: window, Warmup: window / 10,
 		Timeout: 2 * time.Millisecond, Check: ck,
+		// Client-side span stamps land in the measured primary's table when
+		// the telemetry plane is armed (nil otherwise — stamps disabled).
+		Spans: rack.Node(0).Spans,
 	}, rack.Clients...)
 	res := gen.Run()
 
@@ -337,6 +345,37 @@ func runRack(nodes, replicas int, seed uint64, fc lynx.FaultConfig, clients, ret
 	}
 	if fc.Enabled() {
 		fmt.Fprintf(stdout, "faults injected: %s\n", rack.TB.Faults.Stats())
+	}
+	if rackTrace != "" {
+		ex := rack.TraceExport()
+		f, err := os.Create(rackTrace)
+		if err != nil {
+			return fail(err)
+		}
+		if err := ex.WriteJSON(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		sp := rack.Node(0).Spans
+		fmt.Fprintf(stdout, "rack trace timeline written to %s (%d nodes, node0 spans begun=%d closed=%d)\n",
+			rackTrace, rack.Nodes(), sp.Begun(), sp.Closed())
+	}
+	if rackMet != "" {
+		f, err := os.Create(rackMet)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rack.TelemetrySnapshot().Dump(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "rack metrics rollup written to %s\n", rackMet)
 	}
 	rack.Close()
 	if invariants {

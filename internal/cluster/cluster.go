@@ -19,12 +19,14 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"lynx/internal/accel"
 	"lynx/internal/apps/kvstore"
 	"lynx/internal/check"
 	"lynx/internal/core"
 	"lynx/internal/fault"
+	"lynx/internal/metrics"
 	"lynx/internal/model"
 	"lynx/internal/mqueue"
 	"lynx/internal/netstack"
@@ -62,9 +64,16 @@ type Config struct {
 	// Check, when enabled, is installed as the testbed-wide invariant
 	// checker before any machine is built.
 	Check *check.Checker
-	// Tracer, when non-nil, records node 0's runtime events (the metamorphic
-	// trace artifact).
+	// Tracer, when non-nil, becomes node 0's event tracer (the metamorphic
+	// trace artifact of the RF=1 identity golden). It is entry 0 of the
+	// per-node tracer array; Telemetry fills the remaining entries.
 	Tracer *trace.Tracer
+	// Telemetry, when non-nil, arms the per-node observability plane: every
+	// node gets its own event tracer, span table and metrics registry (with
+	// a monitor process sampling utilization), rolled up deterministically
+	// by Rack.TelemetrySnapshot and Rack.TraceExport. Nil keeps every node
+	// uninstrumented — the zero-cost default.
+	Telemetry *Telemetry
 	// Shards is the shard-map size (default DefaultShards).
 	Shards int
 	// Keys preloads every node's store with key-%03d entries (default 512,
@@ -75,6 +84,17 @@ type Config struct {
 	Quorum int
 	// IngestSlots sizes each replication ingest ring (default 64).
 	IngestSlots int
+}
+
+// Telemetry configures the per-node observability plane of a rack build.
+// The zero value of each field selects its default.
+type Telemetry struct {
+	// TracerCap bounds each node's event ring (default 4096 events).
+	TracerCap int
+	// SpanCap bounds each node's span table (default 1<<14 spans).
+	SpanCap int
+	// Interval is each node's monitor sampling period (default 50µs).
+	Interval time.Duration
 }
 
 // Node is one rack member and its full serving stack.
@@ -89,6 +109,13 @@ type Node struct {
 	Store   *kvstore.Store
 	// Repl drives this node's outbound replication; nil when Replicas == 1.
 	Repl *core.Replicator
+	// Tracer/Spans/Reg are the node's observability plane: the event ring,
+	// span table and metrics registry wired into its runtime. Tracer is
+	// non-nil for node 0 when Config.Tracer was set; all three are non-nil
+	// on every node when Config.Telemetry was set, nil otherwise.
+	Tracer *trace.Tracer
+	Spans  *trace.SpanTable
+	Reg    *metrics.Registry
 
 	handle      *core.AccelHandle
 	peerSlot    map[int]int // rack node index -> AddPeer bit position
@@ -167,12 +194,36 @@ func Build(cfg Config) (*Rack, error) {
 	}
 	r.Clients = []*netstack.Host{tb.AddClient("client1"), tb.AddClient("client2")}
 
+	// Per-node observability plane. The tracer array replaces the old
+	// node-0-only special case: the legacy Config.Tracer knob is entry 0
+	// (the identity-golden artifact), and Telemetry fills every empty slot
+	// with the node's own ring so a rack failover reads as one timeline.
+	tracers := make([]*trace.Tracer, cfg.Nodes)
+	tracers[0] = cfg.Tracer
+	if t := cfg.Telemetry; t != nil {
+		tcap, scap := t.TracerCap, t.SpanCap
+		if tcap <= 0 {
+			tcap = 4096
+		}
+		if scap <= 0 {
+			scap = 1 << 14
+		}
+		for i, n := range r.nodes {
+			if tracers[i] == nil {
+				tracers[i] = trace.New(tcap)
+			}
+			n.Spans = trace.NewSpanTable(scap)
+			n.Spans.RegisterInvariants(cfg.Check)
+			n.Reg = metrics.NewRegistry()
+		}
+	}
+
 	// Runtimes, services, preloaded stores.
 	for i, n := range r.nodes {
 		plat := n.BF.Platform(7)
-		if i == 0 && cfg.Tracer != nil {
-			plat.Tracer = cfg.Tracer
-		}
+		plat.Tracer = tracers[i]
+		plat.Spans = n.Spans
+		n.Tracer = tracers[i]
 		rt := core.NewRuntime(plat)
 		h, err := rt.Register(n.GPU, mqueue.Config{Kind: mqueue.ServerQueue, Slots: 16, SlotSize: slotBytes}, serveQueues)
 		if err != nil {
@@ -285,6 +336,13 @@ func Build(cfg Config) (*Rack, error) {
 		if err := n.RT.Start(); err != nil {
 			return nil, err
 		}
+		if t := cfg.Telemetry; t != nil {
+			iv := t.Interval
+			if iv <= 0 {
+				iv = 50 * time.Microsecond
+			}
+			n.RT.StartMonitor(iv, n.Reg)
+		}
 	}
 	return r, nil
 }
@@ -360,13 +418,53 @@ func (r *Rack) ReplicaSet(key string) []int {
 }
 
 // Measure drives a workload from the rack's client hosts to completion on
-// the rack's virtual clock.
+// the rack's virtual clock. With the telemetry plane armed, client-side
+// span stamps default into node 0's table — complete spans (and therefore
+// phase attribution) need the workload to target keys that node owns.
 func (r *Rack) Measure(wcfg workload.Config) workload.Result {
 	if wcfg.Check == nil {
 		wcfg.Check = r.cfg.Check
 	}
+	if wcfg.Spans == nil && r.cfg.Telemetry != nil {
+		wcfg.Spans = r.nodes[0].Spans
+	}
 	g := workload.New(r.TB.Sim, wcfg, r.Clients...)
 	return workload.RunFor(r.TB.Sim, g)
+}
+
+// TelemetrySnapshot merges every node's metrics registry into one rack
+// rollup: each component snapshot and sampled series reappears under a
+// "<node>/" prefix, in node-index order, so the dump is byte-deterministic
+// for a deterministic run. Stats are frozen at snapshot time. Nodes without
+// a registry (telemetry plane not armed) contribute nothing.
+func (r *Rack) TelemetrySnapshot() *metrics.Registry {
+	out := metrics.NewRegistry()
+	for _, n := range r.nodes {
+		if n.Reg == nil {
+			continue
+		}
+		for _, cs := range n.Reg.StatsSnapshot() {
+			stats := cs.Stats
+			out.AddStats(n.Name+"/"+cs.Component, func() []metrics.Stat { return stats })
+		}
+		for _, s := range n.Reg.SeriesList() {
+			out.AddSeries(s.Renamed(n.Name + "/" + s.Name()))
+		}
+	}
+	return out
+}
+
+// TraceExport assembles the rack-wide Perfetto export: one process-track
+// block per node (server{i}'s network/snic/mqueue/accelerator tracks plus
+// its event ring and samplers), in node-index order.
+func (r *Rack) TraceExport() trace.RackExport {
+	var ex trace.RackExport
+	for _, n := range r.nodes {
+		ex.Nodes = append(ex.Nodes, trace.NodeExport{
+			Name: n.Name, Spans: n.Spans, Events: n.Tracer, Series: n.Reg.SeriesList(),
+		})
+	}
+	return ex
 }
 
 // Close shuts the rack's simulation down, unwinding all processes (and

@@ -89,6 +89,16 @@ func (rt *Runtime) StartMonitor(interval time.Duration, reg *metrics.Registry) *
 		probes = append(probes, hp)
 	}
 
+	// Replication plane: held responses and ingest-ring occupancy across all
+	// replicators. Occupancy is delivered-but-unacknowledged records over
+	// total live ingest capacity — the utilization the quorum wait queues
+	// behind, which is what lets PredictKnee learn the replication phase.
+	var replHeld, replOccupancy *metrics.Series
+	if len(rt.replicators) > 0 {
+		replHeld = reg.NewSeries("repl/held", monitorSeriesCap)
+		replOccupancy = reg.NewSeries("repl/ingest-occupancy", monitorSeriesCap)
+	}
+
 	lastCPU := rt.cpuBusy
 	lastSerial := rt.serialBusy
 	lastWire := rt.plat.NetHost.WireBusy()
@@ -116,6 +126,26 @@ func (rt *Runtime) StartMonitor(interval time.Duration, reg *metrics.Registry) *
 
 			st := rt.stats
 			backlog.Add(at, float64(int64(st.Received)-int64(st.Responded)-int64(st.Dropped())))
+
+			if replHeld != nil {
+				held, outstanding, slots := 0, 0, 0
+				for _, r := range rt.replicators {
+					held += int(r.held)
+					for _, rp := range r.peers {
+						if rp.dead {
+							continue
+						}
+						outstanding += rp.outstanding
+						slots += rp.q.Slots()
+					}
+				}
+				replHeld.Add(at, float64(held))
+				occ := 0.0
+				if slots > 0 {
+					occ = clamp01(float64(outstanding) / float64(slots))
+				}
+				replOccupancy.Add(at, occ)
+			}
 
 			for _, hp := range probes {
 				inflight, txlog := 0, 0

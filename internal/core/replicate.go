@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"lynx/internal/accel"
+	"lynx/internal/metrics"
 	"lynx/internal/mqueue"
 	"lynx/internal/sim"
 	"lynx/internal/trace"
@@ -90,12 +91,22 @@ type replPeer struct {
 	// non-zero) — the SNIC-local progress clock for the pump's ack deadline.
 	outstanding int
 	since       sim.Time
+	// Straggler attribution: ackLat is the dispatch-to-ack latency of this
+	// peer's acks, gated counts quorums this peer's ack completed (the ack
+	// that released held responses), and gatingMargin is how long quorum
+	// waited on it beyond the previous ack for the same write.
+	ackLat       *metrics.Histogram
+	gated        uint64
+	gatingMargin *metrics.Histogram
 }
 
 // heldResp is one client response parked until its write's quorum is met.
 type heldResp struct {
 	to      replyTo
 	payload []byte
+	// parkedAt is when the response was parked; the park-to-release interval
+	// is the span's replication-phase queue wait.
+	parkedAt sim.Time
 }
 
 // pendingWrite tracks one replicated write from dispatch to release.
@@ -104,6 +115,11 @@ type pendingWrite struct {
 	waitMask uint32 // peers whose ack is still outstanding
 	needed   int    // acks still required before release
 	resps    []heldResp
+	// dispatchAt is when the write entered the protocol; lastAck advances
+	// with every matching ack — the gating margin of the quorum-completing
+	// ack is measured from it.
+	dispatchAt sim.Time
+	lastAck    sim.Time
 }
 
 // Replicator drives the quorum protocol for one service.
@@ -166,13 +182,20 @@ func (r *Replicator) AddPeer(name string, acc accel.Accelerator, qcfg mqueue.Con
 	}
 	region := fmt.Sprintf("lynx-repl-%s-%d", rt.plat.NetHost.Name(), len(r.peers))
 	// Ingest queues carry copies of in-flight requests, not the requests
-	// themselves: keep them out of the span table so per-request stage
-	// stamps stay unique to the primary's serving path.
+	// themselves: keep them out of the span table (spans=false) so the
+	// peer-side apply kernel cannot stamp the primary's serving stages.
+	// They do mark themselves as replication rings: each record delivery
+	// stamps StageReplPushed into the *origin's* table, linking the replica
+	// push to the origin span through the shared wire-seq id.
+	qcfg.ReplSpans = rt.plat.Spans
 	h, err := rt.register(acc, qcfg, 1, region, true, false)
 	if err != nil {
 		return nil, fmt.Errorf("core: registering ingest queue on %s: %w", acc.Name(), err)
 	}
-	rp := &replPeer{r: r, idx: len(r.peers), name: name, h: h, q: h.group.Queue(0)}
+	rp := &replPeer{
+		r: r, idx: len(r.peers), name: name, h: h, q: h.group.Queue(0),
+		ackLat: metrics.NewHistogram(), gatingMargin: metrics.NewHistogram(),
+	}
 	r.peers = append(r.peers, rp)
 	r.liveMask |= 1 << uint(rp.idx)
 	return h, nil
@@ -194,6 +217,37 @@ func (r *Replicator) PeerDeadAt(i int) (sim.Time, bool) {
 
 // Stats returns the replication counter snapshot.
 func (r *Replicator) Stats() ReplStats { return r.stats }
+
+// ReplPeerStat is one peer's straggler profile: how its acks arrive and how
+// often (and by how much) its ack was the one quorum waited for.
+type ReplPeerStat struct {
+	// Name is the peer name given to AddPeer.
+	Name string
+	// Acks counts acknowledgements drained from this peer.
+	Acks uint64
+	// GatedQuorums counts writes whose quorum this peer's ack completed —
+	// the straggler count: this peer's ack was what held responses waited on.
+	GatedQuorums uint64
+	// AckLatency is the dispatch-to-ack latency distribution of this peer.
+	AckLatency *metrics.Histogram
+	// GatingMargin, over gated quorums only, is how long the quorum waited
+	// on this peer beyond the previous ack for the same write.
+	GatingMargin *metrics.Histogram
+}
+
+// PeerStat returns peer i's straggler profile. The histograms are live; the
+// caller must not mutate them.
+func (r *Replicator) PeerStat(i int) ReplPeerStat {
+	rp := r.peers[i]
+	var acks uint64
+	if h := rp.ackLat; h != nil {
+		acks = h.Count()
+	}
+	return ReplPeerStat{
+		Name: rp.name, Acks: acks, GatedQuorums: rp.gated,
+		AckLatency: rp.ackLat, GatingMargin: rp.gatingMargin,
+	}
+}
 
 // HeldResponses returns the number of currently parked client responses.
 func (r *Replicator) HeldResponses() uint64 { return r.held }
@@ -220,7 +274,8 @@ func (r *Replicator) onDispatch(payload []byte) {
 	if q := r.cfg.Quorum; q > 0 && q < needed {
 		needed = q
 	}
-	r.pend[id] = &pendingWrite{id: id, waitMask: mask, needed: needed}
+	now := r.rt.plat.Sim.Now()
+	r.pend[id] = &pendingWrite{id: id, waitMask: mask, needed: needed, dispatchAt: now, lastAck: now}
 	// Copy the payload: the record outlives the caller's buffer.
 	rec := append([]byte(nil), payload...)
 	for _, rp := range r.peers {
@@ -244,7 +299,7 @@ func (r *Replicator) onResponse(to replyTo, payload []byte) bool {
 		delete(r.pend, pw.id)
 		return false
 	}
-	pw.resps = append(pw.resps, heldResp{to: to, payload: payload})
+	pw.resps = append(pw.resps, heldResp{to: to, payload: payload, parkedAt: r.rt.plat.Sim.Now()})
 	r.held++
 	r.stats.Held++
 	return true
@@ -253,32 +308,52 @@ func (r *Replicator) onResponse(to replyTo, payload []byte) bool {
 // onAck runs from the MQ-manager sweep for every message drained from a peer
 // ingest TX ring: the peer's apply kernel acknowledged one record.
 func (r *Replicator) onAck(rp *replPeer, payload []byte) {
+	now := r.rt.plat.Sim.Now()
 	r.stats.Acks++
 	if rp.outstanding > 0 {
 		rp.outstanding--
-		rp.since = r.rt.plat.Sim.Now()
+		rp.since = now
 	}
-	pw := r.pend[trace.SpanID(payload)]
+	id := trace.SpanID(payload)
+	pw := r.pend[id]
 	bit := uint32(1) << uint(rp.idx)
 	if pw != nil && pw.waitMask&bit != 0 {
+		rp.ackLat.RecordN(now.Sub(pw.dispatchAt), 1)
+		r.rt.plat.Spans.Stamp(id, trace.StageReplAcked, now)
 		pw.waitMask &^= bit
 		pw.needed--
 		if pw.needed <= 0 {
-			r.settle(pw)
+			// This peer's ack completed the quorum: it is the straggler
+			// every held response was waiting on. The margin is how far it
+			// trailed the previous ack (or dispatch, for a quorum of one).
+			rp.gated++
+			rp.gatingMargin.RecordN(now.Sub(pw.lastAck), 1)
+			r.settle(now, pw)
 		}
+		pw.lastAck = now
 	}
 	// Every ack frees an ingest slot: wake the pump for backlogged records
 	// (and any response the ack just released).
 	r.gate.Fire()
 }
 
-// settle moves a quorum-met write's parked responses to the release queue.
-// With no response parked yet, the pend entry stays: onResponse observes
-// needed <= 0 and forwards inline.
-func (r *Replicator) settle(pw *pendingWrite) {
+// settle moves a quorum-met write's parked responses to the release queue,
+// stamping the quorum stage and booking the park-to-release interval as the
+// span's replication-phase queue wait. With no response parked yet, the pend
+// entry stays: onResponse observes needed <= 0 and forwards inline — the
+// write's replication overlapped its service and never gated the response,
+// so it carries no quorum stamp and a zero replication phase.
+func (r *Replicator) settle(now sim.Time, pw *pendingWrite) {
 	if len(pw.resps) == 0 {
 		return
 	}
+	sp := r.rt.plat.Spans
+	sp.Stamp(pw.id, trace.StageQuorum, now)
+	for _, hr := range pw.resps {
+		sp.AddWait(pw.id, trace.PhaseReplication, now.Sub(hr.parkedAt))
+	}
+	r.rt.plat.Tracer.Emit(now, trace.ReplRelease,
+		uint64(len(pw.resps)), uint64(bits.OnesCount32(pw.waitMask)))
 	r.releasable = append(r.releasable, pw.resps...)
 	pw.resps = nil
 	delete(r.pend, pw.id)
@@ -298,7 +373,6 @@ func (r *Replicator) killPeer(now sim.Time, rp *replPeer) {
 	rp.outstanding = 0
 	r.liveMask &^= 1 << uint(rp.idx)
 	r.stats.PeerFailovers++
-	r.rt.plat.Tracer.Emit(now, trace.Failover, uint64(rp.idx), 2)
 	bit := uint32(1) << uint(rp.idx)
 	ids := make([]uint64, 0, len(r.pend))
 	for id, pw := range r.pend {
@@ -307,6 +381,9 @@ func (r *Replicator) killPeer(now sim.Time, rp *replPeer) {
 		}
 	}
 	sortUint64s(ids)
+	r.rt.plat.Tracer.Emit(now, trace.PeerKill, uint64(rp.idx), uint64(len(ids)))
+	r.rt.plat.Tracer.Emit(now, trace.QuorumShrink,
+		uint64(bits.OnesCount32(r.liveMask)), uint64(r.cfg.Quorum))
 	for _, id := range ids {
 		pw := r.pend[id]
 		pw.waitMask &^= bit
@@ -314,7 +391,7 @@ func (r *Replicator) killPeer(now sim.Time, rp *replPeer) {
 			pw.needed = live
 		}
 		if pw.needed <= 0 {
-			r.settle(pw)
+			r.settle(now, pw)
 		}
 	}
 	r.gate.Fire()

@@ -58,6 +58,14 @@ type Config struct {
 	// with Invariants also armed, an invariant violation dumps a postmortem
 	// flight-recorder report to ProfileJSON + ".postmortem".
 	ProfileJSON string
+	// RackTraceJSON, when non-empty, makes rack experiments (replbreakdown)
+	// write the rack-wide Chrome trace-event timeline — one process-track
+	// block per node — to this path.
+	RackTraceJSON string
+	// RackMetricsJSON, when non-empty, makes rack experiments write the
+	// deterministic rack telemetry rollup (per-node stats and series under
+	// "<node>/" prefixes) to this path.
+	RackMetricsJSON string
 	// Top, when non-nil, arms span tracing plus a flight recorder on every
 	// testbed the experiment builds and collects each testbed's slowest
 	// completed requests here (cmd/lynxbench -top).

@@ -1,0 +1,197 @@
+// Replication breakdown: the rack-scope observability experiment. An RF=3
+// rack is built with the per-node telemetry plane armed; a write-heavy
+// workload drives node 0's owned keys so every request crosses the primary's
+// quorum path, and the primary's span table decomposes each write into the
+// six telescoping phases — network, SNIC, transfer, queueing, exec and the
+// replication (quorum-wait) phase carved out of the SNIC hold between drain
+// and forward. The report adds the per-peer straggler ranking: which
+// replica's ack gated quorum, how often, and by what margin. The telescope
+// error row (|phase-sum − end-to-end| / end-to-end) is also a scorecard
+// claim, so a regression that un-telescopes the quorum wait fails the gate.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lynx/internal/apps/kvstore"
+	"lynx/internal/check"
+	"lynx/internal/cluster"
+	"lynx/internal/metrics"
+	"lynx/internal/model"
+	"lynx/internal/profile"
+	"lynx/internal/trace"
+	"lynx/internal/workload"
+)
+
+func init() {
+	register("replbreakdown",
+		"RF=3 write-path latency decomposition: quorum-wait phase, per-peer straggler ranking (cluster extension)",
+		runReplBreakdown)
+}
+
+// replBreakdownOutcome bundles one instrumented RF=3 rack run.
+type replBreakdownOutcome struct {
+	res   workload.Result
+	spans *trace.SpanTable   // node 0 (the measured primary)
+	peers []profile.ReplPeer // straggler ranking, gating-count order
+	prof  *profile.Report    // node 0 attribution report, replication section set
+	reg   *metrics.Registry  // node 0 registry (repl/* series live here)
+	rack  *cluster.Rack      // closed by the time the outcome returns
+}
+
+// replBreakdownRun stands the instrumented rack up, drives it, and tears it
+// down. Every write targets a node-0-owned key, so node 0's span table sees
+// complete spans (client stamps default into it via Rack.Measure) and node
+// 0's replicator drives every quorum.
+func replBreakdownRun(cfg Config) replBreakdownOutcome {
+	p := model.Default()
+	ccfg := cluster.Config{
+		Nodes:     3,
+		Replicas:  3,
+		Seed:      cfg.Seed + 1, // the experiment-harness testbed convention
+		Params:    &p,
+		Faults:    cfg.Faults,
+		Telemetry: &cluster.Telemetry{},
+	}
+	var ck *check.Checker
+	if cfg.Invariants.Enabled() {
+		ck = check.New()
+		ccfg.Check = ck
+	}
+	rack, err := cluster.Build(ccfg)
+	if err != nil {
+		panic(err)
+	}
+	if ck != nil {
+		inv := cfg.Invariants
+		rack.TB.Sim.OnShutdown(func() { inv.Add(ck.Finalize()) })
+	}
+	spans := rack.Node(0).Spans
+	rec := profile.NewRecorder(16, 64)
+	rec.Attach(spans)
+	window := cfg.window(20 * time.Millisecond)
+	keys := rack.OwnedKeys(0)
+	res := rack.Measure(workload.Config{
+		Proto: workload.UDP, Target: rack.Node(0).Addr(), Payload: 64,
+		Body: func(seq uint64, buf []byte) {
+			copy(buf[workload.SeqBytes:],
+				kvstore.EncodeSet(keys[seq%uint64(len(keys))], 0, []byte("value-0123456789")))
+		},
+		Clients: 8, Duration: window, Warmup: window / 5,
+		Timeout: 2 * time.Millisecond, Retries: 3,
+	})
+	out := replBreakdownOutcome{res: res, spans: spans, reg: rack.Node(0).Reg, rack: rack}
+	if repl := rack.Node(0).Repl; repl != nil {
+		for i := 0; i < repl.PeerCount(); i++ {
+			st := repl.PeerStat(i)
+			out.peers = append(out.peers,
+				profile.NewReplPeer(st.Name, st.Acks, st.GatedQuorums, st.AckLatency, st.GatingMargin))
+		}
+	}
+	rack.Close()
+	out.prof = profile.Build(spans, rec, out.reg)
+	out.prof.SetReplication(out.peers)
+	return out
+}
+
+// telescopeError is the relative error between the sum of per-phase means
+// and the end-to-end mean over node 0's closed spans — ~0 by construction
+// (the phases telescope span by span; only integer-mean truncation remains),
+// so a nonzero value means a phase was double-counted or lost.
+func telescopeError(spans *trace.SpanTable) float64 {
+	e2e := float64(spans.EndToEnd().Mean())
+	if e2e <= 0 {
+		return 0
+	}
+	var sum float64
+	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
+		sum += float64(spans.PhaseHist(ph).Mean())
+	}
+	err := (sum - e2e) / e2e
+	if err < 0 {
+		err = -err
+	}
+	return err
+}
+
+func runReplBreakdown(cfg Config) *Report {
+	out := replBreakdownRun(cfg)
+	rep := &Report{
+		ID:      "replbreakdown",
+		Title:   "Replicated write decomposition (3 nodes, RF=3, quorum over one-sided RDMA)",
+		Columns: []string{"mean", "p99", "wait", "share"},
+	}
+	e2e := out.spans.EndToEnd()
+	var sum time.Duration
+	for ph := trace.Phase(0); ph < trace.NumPhases; ph++ {
+		h := out.spans.PhaseHist(ph)
+		sum += h.Mean()
+		rep.AddRow(ph.String(), h.Mean(), h.P99(),
+			out.spans.PhaseWaitHist(ph).Mean(), fmtShare(h.Mean(), e2e.Mean()))
+	}
+	rep.AddRow("phase-sum", sum, "", "", fmtShare(sum, e2e.Mean()))
+	rep.AddRow("end-to-end", e2e.Mean(), e2e.P99(), "", "100.0%")
+	rep.AddRow("telescope-err", fmt.Sprintf("%.4f%%", 100*telescopeError(out.spans)))
+	var gatedTotal uint64
+	for _, pr := range out.peers {
+		gatedTotal += pr.GatedQuorums
+	}
+	for _, pr := range out.peers {
+		rep.AddRow("peer "+pr.Peer,
+			time.Duration(pr.AckLatency.MeanNs), time.Duration(pr.AckLatency.P99Ns),
+			time.Duration(pr.GatingMargin.P99Ns),
+			fmtShare(time.Duration(pr.GatedQuorums), time.Duration(gatedTotal)))
+	}
+	rep.Note("peer rows rank stragglers: mean/p99 of dispatch→ack latency, wait = p99 of the gating margin (quorum-completing ack minus the previous ack), share = fraction of parked quorums this peer's ack completed")
+	rep.Note("replication phase = quorum hold carved out of the SNIC phase (drain→quorum); zero for writes whose quorum completed before the response drained")
+	rep.Note("workload: %s (all writes target node 0's owned keys)", out.res.String())
+	rep.Note("spans: begun=%d closed=%d evicted=%d", out.spans.Begun(), out.spans.Closed(), out.spans.Evicted())
+	if k := profile.PredictKnee(out.reg, out.res.Throughput()); k.Valid || k.Reason != "" {
+		rep.Note("primary knee: %s", k.String())
+	}
+	if cfg.ProfileJSON != "" {
+		if err := writeJSONTo(cfg.ProfileJSON, out.prof.WriteJSON); err != nil {
+			rep.Note("profile export failed: %v", err)
+		} else {
+			rep.Note("attribution profile (with replication section) written to %s", cfg.ProfileJSON)
+		}
+	}
+	if cfg.RackTraceJSON != "" {
+		ex := out.rack.TraceExport()
+		if err := writeJSONTo(cfg.RackTraceJSON, ex.WriteJSON); err != nil {
+			rep.Note("rack trace export failed: %v", err)
+		} else {
+			rep.Note("rack trace timeline written to %s", cfg.RackTraceJSON)
+		}
+	}
+	if cfg.RackMetricsJSON != "" {
+		if err := writeJSONTo(cfg.RackMetricsJSON, out.rack.TelemetrySnapshot().Dump); err != nil {
+			rep.Note("rack metrics export failed: %v", err)
+		} else {
+			rep.Note("rack metrics rollup written to %s", cfg.RackMetricsJSON)
+		}
+	}
+	return rep
+}
+
+// replicationTelescope recomputes the telescope error for the scorecard.
+func replicationTelescope(cfg Config) float64 {
+	out := replBreakdownRun(cfg)
+	return telescopeError(out.spans)
+}
+
+// writeJSONTo creates path and streams one JSON document into it.
+func writeJSONTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

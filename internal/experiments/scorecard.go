@@ -57,6 +57,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		kneeGain                             float64
 		fig6KneeRatio, fig9KneeRatio         float64
 		replLagMs, replFloor                 float64
+		replTelescope                        float64
 	)
 	tasks := []func(){
 		func() { _, invOverhead = invocationOverhead(cfg) },
@@ -88,6 +89,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 		func() { fig6KneeRatio = fig6Knee(cfg).ratio() },
 		func() { fig9KneeRatio = fig9Knee(cfg).ratio() },
 		func() { replLagMs, replFloor = replicationFailover(cfg) },
+		func() { replTelescope = replicationTelescope(cfg) },
 	}
 	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
 
@@ -125,6 +127,7 @@ func scorecardMetrics(cfg Config) map[string]float64 {
 
 		"replication.failover_ms":   replLagMs,
 		"replication.goodput_floor": replFloor,
+		"replication.telescope_err": replTelescope,
 	}
 }
 

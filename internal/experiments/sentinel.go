@@ -132,6 +132,7 @@ func BuildSentinelArtifact(cfg Config, benchJSON string) (*sentinel.Artifact, er
 		att    attributionOutcome
 		met    map[string]float64
 		k6, k9 kneeOutcome
+		rbo    replBreakdownOutcome
 	)
 	// The measurement groups are independent simulations; scorecardMetrics
 	// fans its own out through cfg.sweep internally, and nested pools are
@@ -141,6 +142,7 @@ func BuildSentinelArtifact(cfg Config, benchJSON string) (*sentinel.Artifact, er
 		func() { k6 = fig6Knee(cfg) },
 		func() { k9 = fig9Knee(cfg) },
 		func() { met = scorecardMetrics(cfg) },
+		func() { rbo = replBreakdownRun(cfg) },
 	}
 	cfg.sweep(len(tasks), func(i int) { tasks[i]() })
 
@@ -167,6 +169,7 @@ func BuildSentinelArtifact(cfg Config, benchJSON string) (*sentinel.Artifact, er
 			MeasuredPerSec: k.out.measured, Ratio: k.out.ratio(),
 		})
 	}
+	a.Rack = rackSections(rbo)
 	if benchJSON != "" {
 		cmp, err := bench.ReadComparison(benchJSON)
 		if err != nil {
@@ -175,4 +178,42 @@ func BuildSentinelArtifact(cfg Config, benchJSON string) (*sentinel.Artifact, er
 		a.Bench = cmp
 	}
 	return a, nil
+}
+
+// rackSections freezes each node of the replication rack's telemetry plane
+// into artifact rows, node-index order. Means are computed over the retained
+// samples of each monitor series; everything is deterministic per seed.
+func rackSections(out replBreakdownOutcome) []sentinel.RackNode {
+	if out.rack == nil {
+		return nil
+	}
+	rows := make([]sentinel.RackNode, 0, out.rack.Nodes())
+	for i := 0; i < out.rack.Nodes(); i++ {
+		n := out.rack.Node(i)
+		row := sentinel.RackNode{Node: n.Name}
+		if n.Spans != nil {
+			row.SpansBegun, row.SpansClosed = n.Spans.Begun(), n.Spans.Closed()
+		}
+		if n.Tracer != nil {
+			row.Events = len(n.Tracer.Events())
+		}
+		if n.Reg != nil {
+			for _, s := range n.Reg.SeriesList() {
+				pts := s.Points()
+				if len(pts) == 0 {
+					continue
+				}
+				var sum float64
+				for _, p := range pts {
+					sum += p.V
+				}
+				if row.SeriesMean == nil {
+					row.SeriesMean = make(map[string]float64)
+				}
+				row.SeriesMean[s.Name()] = sum / float64(len(pts))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }

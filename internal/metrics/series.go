@@ -41,6 +41,16 @@ func NewSeries(name string, capacity int) *Series {
 // Name returns the series name.
 func (s *Series) Name() string { return s.name }
 
+// Renamed returns a view of the series under a new name, sharing the sample
+// storage as of the call (a snapshot: samples added to the original after
+// Renamed may not appear). Rack rollups use it to prefix node names onto
+// per-node series without copying rings.
+func (s *Series) Renamed(name string) *Series {
+	c := *s
+	c.name = name
+	return &c
+}
+
 // Add appends one sample, evicting the oldest when full.
 func (s *Series) Add(at time.Duration, v float64) {
 	pt := SeriesPoint{At: at, V: v}
@@ -141,6 +151,26 @@ func (r *Registry) SeriesList() []*Series {
 		return nil
 	}
 	return r.series
+}
+
+// ComponentStats is one component's evaluated counter snapshot.
+type ComponentStats struct {
+	Component string
+	Stats     []Stat
+}
+
+// StatsSnapshot evaluates every registered snapshot function and returns the
+// results in registration order. Rack rollups use it to freeze and re-home a
+// node's counters under a prefixed component name.
+func (r *Registry) StatsSnapshot() []ComponentStats {
+	if r == nil {
+		return nil
+	}
+	out := make([]ComponentStats, 0, len(r.stats))
+	for _, src := range r.stats {
+		out = append(out, ComponentStats{Component: src.component, Stats: src.fn()})
+	}
+	return out
 }
 
 // jsonPoint is the wire form of one sample (microseconds keep the dump

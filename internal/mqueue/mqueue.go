@@ -101,6 +101,13 @@ type Config struct {
 	// books the TX-ring residency (drain start minus StageAccelSent) against
 	// the span's queueing phase. Nil costs one pointer test per drain.
 	Spans *trace.SpanTable
+	// ReplSpans, when non-nil, marks the queue as a replication ingest ring:
+	// each record-bearing write stamps StageReplPushed for the record's span
+	// into this table (the *origin's* span table — replica deliveries link
+	// back to the origin span through the shared 8-byte wire-seq id) at its
+	// delivery instant. First write wins, so the stamp is the earliest peer
+	// delivery.
+	ReplSpans *trace.SpanTable
 }
 
 func (c *Config) validate() error {
@@ -397,11 +404,19 @@ func (q *Queue) reserveWrite(payload []byte, errStatus byte) (rdma.WR, int) {
 	}, slot
 }
 
-// stampPushed returns the OnDeliver hook stamping StagePushed for payload's
-// span at the write's delivery instant; nil when the queue has no span table
-// (keeps the uninstrumented push path allocation-free).
+// stampPushed returns the OnDeliver hook stamping StagePushed (or, for
+// replication ingest rings, StageReplPushed) for payload's span at the
+// write's delivery instant; nil when the queue has no span table (keeps the
+// uninstrumented push path allocation-free).
 func (q *Queue) stampPushed(payload []byte) func(at sim.Time) {
 	sp := q.cfg.Spans
+	if rp := q.cfg.ReplSpans; rp != nil {
+		id := trace.SpanID(payload)
+		if id == 0 {
+			return nil
+		}
+		return func(at sim.Time) { rp.Stamp(id, trace.StageReplPushed, at) }
+	}
 	if sp == nil {
 		return nil
 	}
@@ -723,6 +738,9 @@ func (q *Queue) Poll(p *sim.Proc) (TxMsg, bool) {
 
 // InFlight reports RX messages pushed but not yet known consumed.
 func (q *Queue) InFlight() int { return int(q.rxHead - q.rxConsumed) }
+
+// Slots reports the ring capacity per direction.
+func (q *Queue) Slots() int { return q.cfg.Slots }
 
 // TxBacklog reports TX messages the accelerator has published (per the
 // cached counters) that the MQ manager has not yet drained.

@@ -78,6 +78,43 @@ func (b Bottleneck) String() string {
 		b.Resource, b.Utilization, time.Duration(b.WaitP99Ns), trend)
 }
 
+// ReplPeer is one replica peer's straggler profile: its ack-latency
+// distribution, how many write quorums its ack completed (it was the peer
+// the held responses waited on), and the gating margin — how far the
+// quorum-completing ack trailed the previous ack for the same write.
+type ReplPeer struct {
+	Peer         string    `json:"peer"`
+	Acks         uint64    `json:"acks"`
+	GatedQuorums uint64    `json:"gated_quorums"`
+	AckLatency   HistStats `json:"ack_latency"`
+	GatingMargin HistStats `json:"gating_margin"`
+}
+
+// NewReplPeer summarizes one peer's straggler histograms into report form.
+// Nil histograms yield zero stats.
+func NewReplPeer(peer string, acks, gated uint64, ackLat, gatingMargin *metrics.Histogram) ReplPeer {
+	p := ReplPeer{Peer: peer, Acks: acks, GatedQuorums: gated}
+	if ackLat != nil {
+		p.AckLatency = histStats(ackLat)
+	}
+	if gatingMargin != nil {
+		p.GatingMargin = histStats(gatingMargin)
+	}
+	return p
+}
+
+// SetReplication installs the per-peer straggler ranking: most gated
+// quorums first, ties broken by peer name so the order is deterministic.
+func (r *Report) SetReplication(peers []ReplPeer) {
+	sort.SliceStable(peers, func(i, j int) bool {
+		if peers[i].GatedQuorums != peers[j].GatedQuorums {
+			return peers[i].GatedQuorums > peers[j].GatedQuorums
+		}
+		return peers[i].Peer < peers[j].Peer
+	})
+	r.Replication = peers
+}
+
 // SpanPhase is one phase of one recorded span.
 type SpanPhase struct {
 	Phase     string `json:"phase"`
@@ -109,6 +146,10 @@ type Report struct {
 	Phases []PhaseStats `json:"phases"`
 	// Bottlenecks ranks resources most-suspect first.
 	Bottlenecks []Bottleneck `json:"bottlenecks"`
+	// Replication, for replicated deployments, ranks replica peers by how
+	// often their ack gated a write quorum (the straggler ranking); empty
+	// and omitted for single-server runs.
+	Replication []ReplPeer `json:"replication,omitempty"`
 	// Top holds the slowest recorded spans, slowest first.
 	Top []SpanRecord `json:"top"`
 	// Recent holds the most recently closed spans, oldest first.
@@ -208,6 +249,10 @@ func buildBottlenecks(spans *trace.SpanTable, reg *metrics.Registry) []Bottlenec
 	add("dispatcher", "snic/dispatch-util", "snic/backlog", trace.PhaseSNIC)
 	add("snic-cores", "snic/core-util", "snic/backlog", trace.PhaseSNIC)
 	add("nic-wire", "net/wire-util", "", trace.PhaseNetwork)
+	// Replicated deployments publish ingest-ring occupancy; the wait booked
+	// against it is the quorum hold. Absent for single-server runs, so
+	// their rankings are unchanged.
+	add("replication", "repl/ingest-occupancy", "repl/held", trace.PhaseReplication)
 	for _, s := range reg.SeriesList() {
 		if n, ok := seriesResource(s.Name(), "accel/", "/sm-util"); ok {
 			// RX-ring residency (PhaseQueueing) is what grows when the

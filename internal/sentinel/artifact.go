@@ -15,6 +15,9 @@
 //     and pass/fail;
 //   - the knee estimates: saturation points predicted from low-load probes
 //     next to their measured counterparts;
+//   - the rack telemetry sections: each node of the RF=3 replication rack
+//     summarized from its own telemetry plane (span counts, event volume,
+//     per-series monitor means), so a cross-node regression names the node;
 //   - optionally, a benchmark comparison recorded by cmd/benchcmp -json
 //     (internal/bench — the same row schema, so medians and significance
 //     have one source of truth).
@@ -32,8 +35,9 @@ import (
 
 // Version is the artifact schema version this package reads and writes.
 // Read refuses other versions: a schema change must bump this and ship a
-// fresh baseline, never reinterpret old bytes.
-const Version = 1
+// fresh baseline, never reinterpret old bytes. Version 2 added the per-node
+// rack telemetry sections.
+const Version = 2
 
 // Fingerprint identifies what an artifact measured. Two artifacts are
 // comparable claim-for-claim only when their fingerprints match; Diff flags a
@@ -70,6 +74,26 @@ type Knee struct {
 	Ratio float64 `json:"ratio"`
 }
 
+// RackNode is one rack member's frozen telemetry-plane summary, measured on
+// the RF=3 replication rack with the per-node observability plane armed.
+// Every value derives from the node's own tracer/span-table/registry, so a
+// cross-node attribution shift (a peer slowing down, an ingest ring backing
+// up) is visible in the diff against the node that moved.
+type RackNode struct {
+	// Node is the rack member name ("server1"...).
+	Node string `json:"node"`
+	// SpansBegun/SpansClosed count the node's request spans (only the
+	// measured primary sees client-closed spans).
+	SpansBegun  uint64 `json:"spans_begun"`
+	SpansClosed uint64 `json:"spans_closed"`
+	// Events is the node's retained event-ring volume.
+	Events int `json:"events"`
+	// SeriesMean maps each monitor series of the node to its mean sample —
+	// utilization and occupancy levels, including the repl/* series on nodes
+	// that drive replication.
+	SeriesMean map[string]float64 `json:"series_mean,omitempty"`
+}
+
 // Artifact is one release's frozen attribution state.
 type Artifact struct {
 	Version     int             `json:"version"`
@@ -77,6 +101,8 @@ type Artifact struct {
 	Report      *profile.Report `json:"report"`
 	Scorecard   []ClaimRow      `json:"scorecard"`
 	Knees       []Knee          `json:"knees,omitempty"`
+	// Rack is the per-node telemetry summary of the RF=3 replication rack.
+	Rack []RackNode `json:"rack,omitempty"`
 	// Bench, when present, is the benchmark comparison recorded at baseline
 	// time (cmd/benchcmp -json / make bench-compare).
 	Bench *bench.Comparison `json:"bench,omitempty"`

@@ -35,6 +35,10 @@ const (
 	pidAccel    = 5
 	pidRuntime  = 6
 	pidSamples  = 7
+
+	// pidStride spaces the pid blocks of a rack export so node i's tracks
+	// are i*pidStride + the component pid above.
+	pidStride = 8
 )
 
 // chromeEvent is one Trace Event Format record. Field order is the emission
@@ -58,7 +62,7 @@ type slice struct {
 	pid      int
 }
 
-// spanSlices is the fixed stage-interval -> track mapping; the five tracks
+// spanSlices is the fixed stage-interval -> track mapping; the tracks
 // mirror the phase decomposition so the timeline and the breakdown table
 // agree.
 var spanSlices = []slice{
@@ -72,29 +76,58 @@ var spanSlices = []slice{
 	{"net:response", StageForward, StageClientRecv, pidNetwork},
 }
 
+// replSlices maps the cross-node replication stages; emitted only for spans
+// that carry them, so unreplicated traces are byte-identical to before.
+var replSlices = []slice{
+	{"repl:push", StageDispatch, StageReplPushed, pidTransfer},
+	{"repl:ack-wait", StageReplPushed, StageReplAcked, pidQueue},
+}
+
 // WriteJSON writes the export as {"traceEvents": [...]} JSON. Output is
 // byte-identical across runs for deterministic inputs: spans are walked in
 // ID order, series and events in their recorded order.
 func (e Export) WriteJSON(w io.Writer) error {
-	evs := make([]chromeEvent, 0, 256)
-	evs = append(evs, metaEvents()...)
+	return writeChrome(w, e.appendTo(make([]chromeEvent, 0, 256), 0, ""))
+}
+
+// appendTo renders the export's events into evs with all pids offset by base
+// and all track/series names prefixed (""/0 is the single-node layout).
+func (e Export) appendTo(evs []chromeEvent, base int, prefix string) []chromeEvent {
+	evs = append(evs, metaEvents(base, prefix)...)
 
 	for _, sp := range e.Spans.Spans() {
 		tid := 0
 		if sp.Queue >= 0 {
 			tid = int(sp.Queue)
 		}
-		for _, sl := range spanSlices {
-			a, oka := sp.At(sl.from)
-			b, okb := sp.At(sl.to)
+		emit := func(name string, from, to Stage, pid int) {
+			a, oka := sp.At(from)
+			b, okb := sp.At(to)
 			if !oka || !okb {
-				continue
+				return
 			}
 			evs = append(evs, chromeEvent{
-				Name: sl.name, Ph: "X", Ts: usec(a), Dur: usec(b) - usec(a),
-				Pid: sl.pid, Tid: tid,
+				Name: prefix + name, Ph: "X", Ts: usec(a), Dur: usec(b) - usec(a),
+				Pid: base + pid, Tid: tid,
 				Args: map[string]any{"span": sp.ID, "status": sp.Status.String()},
 			})
+		}
+		quorum := false
+		if _, ok := sp.At(StageQuorum); ok {
+			quorum = true
+		}
+		for _, sl := range spanSlices {
+			// A response parked for quorum splits its SNIC forward slice
+			// into the hold (drain -> quorum) and the actual forward.
+			if quorum && sl.from == StageDrain && sl.to == StageForward {
+				emit("snic:quorum-hold", StageDrain, StageQuorum, sl.pid)
+				emit(sl.name, StageQuorum, sl.to, sl.pid)
+				continue
+			}
+			emit(sl.name, sl.from, sl.to, sl.pid)
+		}
+		for _, sl := range replSlices {
+			emit(sl.name, sl.from, sl.to, sl.pid)
 		}
 	}
 
@@ -102,7 +135,7 @@ func (e Export) WriteJSON(w io.Writer) error {
 		for _, ev := range e.Events.Events() {
 			evs = append(evs, chromeEvent{
 				Name: ev.Kind.String(), Ph: "i", Ts: usec(ev.At),
-				Pid: pidRuntime, Tid: 0,
+				Pid: base + pidRuntime, Tid: 0,
 				Args: map[string]any{"arg0": ev.Arg0, "arg1": ev.Arg1, "s": "p"},
 			})
 		}
@@ -114,13 +147,44 @@ func (e Export) WriteJSON(w io.Writer) error {
 		}
 		for _, pt := range s.Points() {
 			evs = append(evs, chromeEvent{
-				Name: s.Name(), Ph: "C", Ts: float64(pt.At) / float64(time.Microsecond),
-				Pid: pidSamples, Tid: 0,
+				Name: prefix + s.Name(), Ph: "C", Ts: float64(pt.At) / float64(time.Microsecond),
+				Pid: base + pidSamples, Tid: 0,
 				Args: map[string]any{"value": pt.V},
 			})
 		}
 	}
+	return evs
+}
 
+// NodeExport is one node's telemetry in a rack export.
+type NodeExport struct {
+	// Name prefixes the node's tracks ("server1/snic", ...).
+	Name string
+	// Spans, Events, Series mirror Export; any may be nil.
+	Spans  *SpanTable
+	Events *Tracer
+	Series []*metrics.Series
+}
+
+// RackExport renders one Chrome trace with a process-track block per node,
+// so a rack failover reads as one timeline. Node i's tracks live at pids
+// i*8+1 .. i*8+7 and are name-prefixed with the node name; output is
+// byte-deterministic in node order.
+type RackExport struct {
+	Nodes []NodeExport
+}
+
+// WriteJSON writes the rack export as {"traceEvents": [...]} JSON.
+func (e RackExport) WriteJSON(w io.Writer) error {
+	evs := make([]chromeEvent, 0, 256)
+	for i, n := range e.Nodes {
+		ex := Export{Spans: n.Spans, Events: n.Events, Series: n.Series}
+		evs = ex.appendTo(evs, i*pidStride, n.Name+"/")
+	}
+	return writeChrome(w, evs)
+}
+
+func writeChrome(w io.Writer, evs []chromeEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(struct {
 		TraceEvents     []chromeEvent `json:"traceEvents"`
@@ -129,7 +193,7 @@ func (e Export) WriteJSON(w io.Writer) error {
 }
 
 // metaEvents names the component tracks (Chrome process_name metadata).
-func metaEvents() []chromeEvent {
+func metaEvents(base int, prefix string) []chromeEvent {
 	tracks := []struct {
 		pid  int
 		name string
@@ -145,8 +209,8 @@ func metaEvents() []chromeEvent {
 	out := make([]chromeEvent, 0, len(tracks))
 	for _, t := range tracks {
 		out = append(out, chromeEvent{
-			Name: "process_name", Ph: "M", Ts: 0, Pid: t.pid, Tid: 0,
-			Args: map[string]any{"name": t.name},
+			Name: "process_name", Ph: "M", Ts: 0, Pid: base + t.pid, Tid: 0,
+			Args: map[string]any{"name": prefix + t.name},
 		})
 	}
 	return out

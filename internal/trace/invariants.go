@@ -5,7 +5,7 @@ import "lynx/internal/check"
 // RegisterInvariants installs end-of-run consistency checks over the span
 // table: per-span stage monotonicity (timestamps never run backwards along
 // the request path) and the telescoping identity of the phase decomposition
-// (the five phase histograms sum exactly to the end-to-end histogram, both in
+// (the phase histograms sum exactly to the end-to-end histogram, both in
 // count and in accumulated time). A nil table or disabled checker is a no-op.
 func (t *SpanTable) RegisterInvariants(ck *check.Checker) {
 	if t == nil || !ck.Enabled() {
@@ -35,6 +35,25 @@ func (t *SpanTable) RegisterInvariants(ck *check.Checker) {
 					if bad < 4 {
 						fail("span %d: backend-in at %d precedes backend-out at %d",
 							s.ID, int64(in), int64(out))
+					}
+					bad++
+				}
+			}
+			// Replication stages order among themselves (push precedes ack
+			// precedes quorum) and a quorum release happens inside the
+			// drain..forward hold it carves out of the SNIC phase.
+			for _, pair := range [...][2]Stage{
+				{StageReplPushed, StageReplAcked},
+				{StageReplAcked, StageQuorum},
+				{StageDrain, StageQuorum},
+				{StageQuorum, StageForward},
+			} {
+				a, oka := s.At(pair[0])
+				b, okb := s.At(pair[1])
+				if oka && okb && b < a {
+					if bad < 4 {
+						fail("span %d: %s at %d precedes %s at %d",
+							s.ID, pair[1], int64(b), pair[0], int64(a))
 					}
 					bad++
 				}

@@ -47,6 +47,18 @@ const (
 	StageBackendOut
 	// StageBackendIn: a backend response entered the client mqueue.
 	StageBackendIn
+	// StageReplPushed: the first replica-bound RDMA WRITE carrying the
+	// record was delivered into a peer's ingest mqueue (earliest peer
+	// delivery; per-peer deliveries after the first do not move it).
+	StageReplPushed
+	// StageReplAcked: the first replica ack for the record arrived back at
+	// the origin SNIC.
+	StageReplAcked
+	// StageQuorum: the ack quorum was reached and a held client response
+	// was released. Stamped only for writes whose response was actually
+	// parked waiting for quorum — a write whose quorum was met before its
+	// response drained has no replication wait and no quorum stamp.
+	StageQuorum
 	// NumStages bounds the per-span timestamp array.
 	NumStages
 )
@@ -76,13 +88,19 @@ func (s Stage) String() string {
 		return "backend-out"
 	case StageBackendIn:
 		return "backend-in"
+	case StageReplPushed:
+		return "repl-pushed"
+	case StageReplAcked:
+		return "repl-acked"
+	case StageQuorum:
+		return "quorum"
 	default:
 		return "unknown"
 	}
 }
 
 // Phase is one bucket of the paper-style latency decomposition (§6). The
-// five phases telescope: for a span with all stages recorded their sum is
+// phases telescope: for a span with all stages recorded their sum is
 // exactly the end-to-end latency.
 type Phase uint8
 
@@ -97,6 +115,11 @@ const (
 	PhaseQueueing
 	// PhaseExec: accelerator execution between RX consume and TX publish.
 	PhaseExec
+	// PhaseReplication: response hold at the origin SNIC waiting for the
+	// replica ack quorum (drain -> quorum release). Zero for unreplicated
+	// requests and for writes whose quorum was met before the response
+	// drained.
+	PhaseReplication
 	// NumPhases bounds the per-table histogram array.
 	NumPhases
 )
@@ -114,6 +137,8 @@ func (p Phase) String() string {
 		return "queueing"
 	case PhaseExec:
 		return "execution"
+	case PhaseReplication:
+		return "replication"
 	default:
 		return "unknown"
 	}
@@ -194,8 +219,8 @@ func (s *Span) Latency(from, to Stage) (d sim.Time, ok bool) {
 	return b - a, true
 }
 
-// Phases returns the five-phase decomposition in path order and whether the
-// span is complete (every service stage recorded); the five values sum
+// Phases returns the phase decomposition in path order and whether the
+// span is complete (every service stage recorded); the values sum
 // exactly to the end-to-end latency.
 func (s *Span) Phases() ([NumPhases]time.Duration, bool) {
 	var out [NumPhases]time.Duration
@@ -237,18 +262,25 @@ func (s *Span) complete() bool {
 	return true
 }
 
-// phases computes the telescoping five-phase decomposition. Valid only on
-// complete spans; the five values sum exactly to client-recv minus
-// client-send.
+// phases computes the telescoping phase decomposition. Valid only on
+// complete spans; the values sum exactly to client-recv minus client-send.
+// For replicated writes whose response was parked for quorum (StageQuorum
+// set), the drain->quorum hold is carved out of the SNIC phase into
+// PhaseReplication; the telescoping sum is unchanged.
 func (s *Span) phases() [NumPhases]sim.Time {
 	st := &s.stamps
-	return [NumPhases]sim.Time{
+	out := [NumPhases]sim.Time{
 		PhaseNetwork:  (st[StageSnicRecv] - st[StageClientSend]) + (st[StageClientRecv] - st[StageForward]),
 		PhaseSNIC:     (st[StageDispatch] - st[StageSnicRecv]) + (st[StageForward] - st[StageDrain]),
 		PhaseTransfer: st[StagePushed] - st[StageDispatch],
 		PhaseQueueing: (st[StageAccelRecv] - st[StagePushed]) + (st[StageDrain] - st[StageAccelSent]),
 		PhaseExec:     st[StageAccelSent] - st[StageAccelRecv],
 	}
+	if q := st[StageQuorum]; q >= 0 {
+		out[PhaseReplication] = q - st[StageDrain]
+		out[PhaseSNIC] -= out[PhaseReplication]
+	}
+	return out
 }
 
 // SpanTable is a fixed-memory table of request spans, indexed by span ID

@@ -41,6 +41,15 @@ const (
 	// Failover: the MQ-manager watchdog changed a queue's health (arg0 =
 	// queue index, arg1 = 0 for failover, 1 for failback).
 	Failover
+	// PeerKill: the replicator's ack-deadline detector declared a replica
+	// peer dead (arg0 = peer index, arg1 = acks waived by the kill).
+	PeerKill
+	// QuorumShrink: a peer kill shrank the effective write quorum (arg0 =
+	// live-peer count after the kill, arg1 = quorum size).
+	QuorumShrink
+	// ReplRelease: a client response held for replication was released at
+	// quorum (arg0 = responses released, arg1 = acks still outstanding).
+	ReplRelease
 	numKinds
 )
 
@@ -67,6 +76,12 @@ func (k Kind) String() string {
 		return "retry"
 	case Failover:
 		return "failover"
+	case PeerKill:
+		return "peer-kill"
+	case QuorumShrink:
+		return "quorum-shrink"
+	case ReplRelease:
+		return "repl-release"
 	default:
 		return "unknown"
 	}
@@ -106,6 +121,12 @@ func (e Event) String() string {
 			dir = "restored"
 		}
 		args = fmt.Sprintf("queue=%d %s", e.Arg0, dir)
+	case PeerKill:
+		args = fmt.Sprintf("peer=%d waived=%d", e.Arg0, e.Arg1)
+	case QuorumShrink:
+		args = fmt.Sprintf("live=%d quorum=%d", e.Arg0, e.Arg1)
+	case ReplRelease:
+		args = fmt.Sprintf("released=%d outstanding=%d", e.Arg0, e.Arg1)
 	default:
 		args = fmt.Sprintf("arg0=%d arg1=%d", e.Arg0, e.Arg1)
 	}

@@ -129,6 +129,10 @@ type (
 	Rack = cluster.Rack
 	// RackNode is one rack member (machine, SmartNIC, GPU, runtime, store).
 	RackNode = cluster.Node
+	// RackTelemetry arms the per-node observability plane of a rack build:
+	// every node gets its own event tracer, span table and sampling metrics
+	// registry, rolled up by (*Rack).TelemetrySnapshot and (*Rack).TraceExport.
+	RackTelemetry = cluster.Telemetry
 	// ShardMap is the consistent-hash membership and key-placement map racks
 	// shard by; it is also usable standalone via NewShardMap.
 	ShardMap = cluster.ShardMap
